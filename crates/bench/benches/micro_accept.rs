@@ -1,0 +1,37 @@
+//! Microbenchmark: acceptance-function evaluation cost across the paper's
+//! g classes, and the full Figure-1 decision path.
+
+use anneal_core::GFunction;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn bench_accept(c: &mut Criterion) {
+    let mut group = c.benchmark_group("accept");
+
+    let classes: Vec<(&str, GFunction)> = vec![
+        ("metropolis", GFunction::metropolis(1.5)),
+        ("six_temp_annealing", GFunction::six_temp_annealing(2.0)),
+        ("unit", GFunction::unit()),
+        ("cubic_diff", GFunction::poly_difference(3, 0.4)),
+        ("exp_diff", GFunction::exp_difference(0.7)),
+        ("coho83a", GFunction::coho83a(150)),
+    ];
+
+    for (name, g) in &classes {
+        group.bench_function(format!("probability/{name}"), |b| {
+            b.iter(|| std::hint::black_box(g.probability(0, 80.0, 82.0)))
+        });
+    }
+
+    for (name, g) in classes {
+        let mut g = g;
+        let mut rng = StdRng::seed_from_u64(3);
+        group.bench_function(format!("decide_figure1/{name}"), |b| {
+            b.iter(|| std::hint::black_box(g.decide_figure1(0, 80.0, 82.0, &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_accept);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Microbenchmark: incremental cut-density maintenance versus full rebuild.
+//!
+//! This is the ablation for the repository's central data-structure choice
+//! (DESIGN.md §5): the strategies call `cost` after every perturbation, so
+//! arrangement moves must not pay O(total pins) each.
+
+use anneal_linarr::{ArrangedState, Arrangement, CutProfile};
+use anneal_netlist::generator::{random_multi_pin, random_two_pin};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+fn bench_density(c: &mut Criterion) {
+    let mut group = c.benchmark_group("density");
+
+    for (label, netlist) in [
+        ("gola_15x150", {
+            let mut rng = StdRng::seed_from_u64(1);
+            random_two_pin(15, 150, &mut rng)
+        }),
+        ("nola_15x150", {
+            let mut rng = StdRng::seed_from_u64(2);
+            random_multi_pin(15, 150, 2, 5, &mut rng)
+        }),
+        ("gola_200x2000", {
+            let mut rng = StdRng::seed_from_u64(3);
+            random_two_pin(200, 2000, &mut rng)
+        }),
+    ] {
+        let n = netlist.n_elements();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut state = ArrangedState::new(&netlist, Arrangement::random(n, &mut rng));
+
+        group.bench_function(format!("incremental_swap/{label}"), |b| {
+            b.iter(|| {
+                let p = rng.random_range(0..n);
+                let q = rng.random_range(0..n);
+                state.swap(&netlist, p, q);
+                std::hint::black_box(state.density())
+            })
+        });
+
+        let arr = Arrangement::random(n, &mut rng);
+        group.bench_function(format!("full_rebuild/{label}"), |b| {
+            b.iter(|| std::hint::black_box(CutProfile::build(&netlist, &arr).density()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_density);
+criterion_main!(benches);

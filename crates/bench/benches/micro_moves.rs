@@ -1,0 +1,53 @@
+//! Microbenchmark: propose/apply/undo throughput for each substrate — the
+//! inner loop of every Monte Carlo strategy.
+
+use anneal_core::{Problem, Rng};
+use anneal_linarr::LinearArrangementProblem;
+use anneal_netlist::generator::random_two_pin;
+use anneal_partition::PartitionProblem;
+use anneal_tsp::{TspInstance, TspProblem};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn cycle<P: Problem>(p: &P, state: &mut P::State, rng: &mut dyn Rng) -> f64 {
+    let mv = p.propose(state, rng);
+    p.apply(state, &mv);
+    let cost = p.cost(state);
+    p.undo(state, &mv);
+    cost
+}
+
+fn bench_moves(c: &mut Criterion) {
+    let mut group = c.benchmark_group("moves");
+    let mut rng = StdRng::seed_from_u64(1);
+
+    let gola = LinearArrangementProblem::new(random_two_pin(15, 150, &mut rng));
+    let mut gola_state = gola.random_state(&mut rng);
+    group.bench_function("gola_swap_cycle", |b| {
+        b.iter(|| std::hint::black_box(cycle(&gola, &mut gola_state, &mut rng)))
+    });
+
+    let part = PartitionProblem::new(random_two_pin(32, 96, &mut rng));
+    let mut part_state = part.random_state(&mut rng);
+    group.bench_function("partition_swap_cycle", |b| {
+        b.iter(|| std::hint::black_box(cycle(&part, &mut part_state, &mut rng)))
+    });
+
+    let tsp = TspProblem::new(TspInstance::random_euclidean(60, &mut rng));
+    let mut tour = tsp.random_state(&mut rng);
+    group.bench_function("tsp_two_opt_cycle", |b| {
+        b.iter(|| std::hint::black_box(cycle(&tsp, &mut tour, &mut rng)))
+    });
+
+    // Local-search probe cost (the Figure-2 inner loop).
+    group.bench_function("gola_improving_move_scan", |b| {
+        b.iter(|| {
+            let mut probes = 0;
+            std::hint::black_box(gola.improving_move(&gola_state, &mut probes))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_moves);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! One Criterion benchmark per paper table: each runs the corresponding
+//! table harness end-to-end at a reduced budget scale (the full-scale run is
+//! `repro <table>`; these benches track the harness's performance).
+
+use anneal_experiments::{
+    ablation, diagnostics, ext_partition, ext_tsp, tables, trajectory, tuning, SuiteConfig,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+
+    let cfg = SuiteConfig::scaled(10);
+    group.bench_function("table4_1", |b| {
+        b.iter(|| tables::table4_1::run(std::hint::black_box(&cfg)))
+    });
+    group.bench_function("table4_2a", |b| {
+        b.iter(|| tables::table4_2a::run(std::hint::black_box(&cfg)))
+    });
+    let cfg_b = SuiteConfig::scaled(100); // 180 s/instance scales harder
+    group.bench_function("table4_2b", |b| {
+        b.iter(|| tables::table4_2b::run(std::hint::black_box(&cfg_b)))
+    });
+    group.bench_function("table4_2c", |b| {
+        b.iter(|| tables::table4_2c::run(std::hint::black_box(&cfg)))
+    });
+    group.bench_function("table4_2d", |b| {
+        b.iter(|| tables::table4_2d::run(std::hint::black_box(&cfg)))
+    });
+    let cfg_t = SuiteConfig::scaled(25);
+    group.bench_function("tuning", |b| {
+        b.iter(|| tuning::run(std::hint::black_box(&cfg_t)))
+    });
+    group.bench_function("ext_partition", |b| {
+        b.iter(|| ext_partition::run(std::hint::black_box(&cfg)))
+    });
+    group.bench_function("ext_tsp", |b| {
+        b.iter(|| ext_tsp::run(std::hint::black_box(&cfg)))
+    });
+    group.bench_function("ablation_gate_period", |b| {
+        b.iter(|| ablation::gate_period(std::hint::black_box(&cfg_t)))
+    });
+    group.bench_function("ablation_schedule_length", |b| {
+        b.iter(|| ablation::schedule_length(std::hint::black_box(&cfg_t)))
+    });
+    group.bench_function("ablation_equilibrium", |b| {
+        b.iter(|| ablation::equilibrium_limit(std::hint::black_box(&cfg_t)))
+    });
+    group.bench_function("ablation_rejectionless", |b| {
+        b.iter(|| ablation::rejectionless(std::hint::black_box(&cfg_t)))
+    });
+    group.bench_function("trajectory", |b| {
+        b.iter(|| trajectory::run(std::hint::black_box(&cfg)))
+    });
+    group.bench_function("diagnostics", |b| {
+        b.iter(|| diagnostics::run(std::hint::black_box(&cfg)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

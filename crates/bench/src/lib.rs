@@ -1,0 +1,13 @@
+//! # anneal-bench
+//!
+//! Criterion benchmarks for the DAC 1985 reproduction. The bench targets:
+//!
+//! * `tables` — every table harness end-to-end at reduced scale (one bench
+//!   per paper table, plus the tuning sweep, extensions and ablations);
+//! * `micro_density` — incremental cut-density maintenance vs full rebuild;
+//! * `micro_moves` — propose/apply/undo cycles per substrate;
+//! * `micro_accept` — acceptance-function evaluation cost per g class.
+//!
+//! Run with `cargo bench -p anneal-bench`. For paper-faithful table output
+//! use the `repro` binary instead (`cargo run --release -p
+//! anneal-experiments --bin repro -- all`).

@@ -1,0 +1,199 @@
+//! The functional forms of the paper's 20 acceptance-function classes (§3).
+//!
+//! Every class is a pair (form, schedule): the form maps the current cost
+//! `h(i)`, the proposed cost `h(j)` and the active temperature `Y` to an
+//! acceptance probability. Forms fall into four families:
+//!
+//! * **Boltzmann** — `e^{-(h(j)-h(i))/Y}` (Metropolis, six-temperature
+//!   annealing),
+//! * **constant** — the schedule value *is* the probability (`g = 1`,
+//!   two-level g),
+//! * **current-cost** — polynomials/exponential in `h(i)` (classes 5–12),
+//! * **difference** — polynomials/exponential in `1/(h(j)-h(i))`
+//!   (classes 13–20),
+//!
+//! plus the problem-specific [COHO83a] function `min(h(i)/(m+5), 0.9)`.
+
+/// Euler's number minus one, the normalizer of the exponential classes 8, 12,
+/// 16 and 20.
+const E_MINUS_1: f64 = std::f64::consts::E - 1.0;
+
+/// A functional form for the uphill-acceptance probability
+/// `g(h(i), h(j))` at temperature `Y`.
+///
+/// Values returned by [`probability`](Form::probability) are clamped to
+/// `[0, 1]`; several of the paper's forms (e.g. `Y/(h(j)-h(i))` with a small
+/// difference) exceed 1, which simply means "always accept".
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Form {
+    /// `e^{-(h(j)-h(i))/Y}` — classes 1 (Metropolis, k=1) and 2
+    /// (six-temperature annealing, k=6).
+    Boltzmann,
+    /// `p = Y`: the schedule value is used directly as the probability —
+    /// class 3 (`g = 1`, schedule `[1]`) and class 4 (two-level g, schedule
+    /// `[1, 0.5]`).
+    Constant,
+    /// `Y · h(i)^degree` — classes 5–7 and 9–11 (linear, quadratic, cubic in
+    /// the *current* cost).
+    PolyCurrent {
+        /// Polynomial degree: 1 (linear), 2 (quadratic) or 3 (cubic).
+        degree: u32,
+    },
+    /// `(e^{h(i)/Y} - 1)/(e - 1)` — classes 8 and 12.
+    ExpCurrent,
+    /// `Y / (h(j)-h(i))^degree` — classes 13–15 and 17–19. A zero difference
+    /// yields probability 1 (the limit of the form).
+    PolyDifference {
+        /// Polynomial degree: 1 (linear), 2 (quadratic) or 3 (cubic).
+        degree: u32,
+    },
+    /// `(e^{Y/(h(j)-h(i))} - 1)/(e - 1)` — classes 16 and 20. A zero
+    /// difference yields probability 1.
+    ExpDifference,
+    /// [COHO83a]'s board-permutation function `min(h(i)/(m+5), 0.9)` where
+    /// `m` is the number of nets in the instance (§4.2.2). The schedule value
+    /// is ignored.
+    Coho83a {
+        /// Number of nets `m` in the instance under optimization.
+        m: f64,
+    },
+}
+
+impl Form {
+    /// The acceptance probability for an uphill (or flat) move from cost
+    /// `h_i` to cost `h_j ≥ h_i` at temperature `y`, clamped to `[0, 1]`.
+    ///
+    /// A *downhill* argument pair (`h_j < h_i`) is answered with 1.0: both
+    /// strategies accept cost reductions unconditionally, so forms are never
+    /// consulted for them (the clamp keeps difference forms well-defined
+    /// defensively).
+    pub fn probability(&self, h_i: f64, h_j: f64, y: f64) -> f64 {
+        let dh = h_j - h_i;
+        if dh < 0.0 {
+            return 1.0;
+        }
+        let raw = match *self {
+            Form::Boltzmann => (-dh / y).exp(),
+            Form::Constant => y,
+            Form::PolyCurrent { degree } => y * h_i.powi(degree as i32),
+            Form::ExpCurrent => ((h_i / y).exp() - 1.0) / E_MINUS_1,
+            Form::PolyDifference { degree } => {
+                if dh == 0.0 {
+                    return 1.0;
+                }
+                y / dh.powi(degree as i32)
+            }
+            Form::ExpDifference => {
+                if dh == 0.0 {
+                    return 1.0;
+                }
+                ((y / dh).exp() - 1.0) / E_MINUS_1
+            }
+            Form::Coho83a { m } => (h_i / (m + 5.0)).min(0.9),
+        };
+        raw.clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boltzmann_matches_metropolis() {
+        let f = Form::Boltzmann;
+        assert!((f.probability(10.0, 12.0, 2.0) - (-1.0f64).exp()).abs() < 1e-12);
+        assert_eq!(f.probability(10.0, 10.0, 2.0), 1.0);
+        // Lower temperature, lower acceptance.
+        assert!(f.probability(10.0, 12.0, 0.5) < f.probability(10.0, 12.0, 2.0));
+    }
+
+    #[test]
+    fn constant_is_schedule_value() {
+        assert_eq!(Form::Constant.probability(5.0, 9.0, 1.0), 1.0);
+        assert_eq!(Form::Constant.probability(5.0, 9.0, 0.5), 0.5);
+    }
+
+    #[test]
+    fn poly_current_uses_current_cost() {
+        // Y·h(i)^2 with Y=1e-4, h(i)=50 → 0.25.
+        let f = Form::PolyCurrent { degree: 2 };
+        assert!((f.probability(50.0, 51.0, 1e-4) - 0.25).abs() < 1e-12);
+        // Worse current solutions accept uphill moves more readily.
+        assert!(f.probability(80.0, 81.0, 1e-4) > f.probability(50.0, 51.0, 1e-4));
+    }
+
+    #[test]
+    fn exp_current_normalized() {
+        // h(i) = Y → (e - 1)/(e - 1) = 1.
+        let f = Form::ExpCurrent;
+        assert!((f.probability(3.0, 4.0, 3.0) - 1.0).abs() < 1e-12);
+        assert!(f.probability(1.0, 2.0, 3.0) < 1.0);
+    }
+
+    #[test]
+    fn poly_difference_decays_with_delta() {
+        let f = Form::PolyDifference { degree: 3 };
+        assert!((f.probability(10.0, 12.0, 1.0) - 0.125).abs() < 1e-12);
+        assert_eq!(f.probability(10.0, 10.0, 1.0), 1.0, "zero delta accepts");
+        assert_eq!(f.probability(10.0, 11.0, 5.0), 1.0, "clamped to 1");
+    }
+
+    #[test]
+    fn exp_difference_limits() {
+        let f = Form::ExpDifference;
+        assert_eq!(f.probability(10.0, 10.0, 1.0), 1.0);
+        // Y/dh = 1 → exactly 1 after normalization.
+        assert!((f.probability(10.0, 11.0, 1.0) - 1.0).abs() < 1e-12);
+        assert!(f.probability(10.0, 20.0, 1.0) < 0.2);
+    }
+
+    #[test]
+    fn coho83a_caps_at_point_nine() {
+        let f = Form::Coho83a { m: 150.0 };
+        assert!((f.probability(31.0, 32.0, 1.0) - 31.0 / 155.0).abs() < 1e-12);
+        assert_eq!(f.probability(10_000.0, 10_001.0, 1.0), 0.9);
+    }
+
+    #[test]
+    fn downhill_always_one() {
+        for f in [
+            Form::Boltzmann,
+            Form::Constant,
+            Form::PolyCurrent { degree: 1 },
+            Form::ExpCurrent,
+            Form::PolyDifference { degree: 2 },
+            Form::ExpDifference,
+            Form::Coho83a { m: 150.0 },
+        ] {
+            assert_eq!(f.probability(10.0, 8.0, 0.01), 1.0, "{f:?}");
+        }
+    }
+
+    #[test]
+    fn probabilities_always_in_unit_interval() {
+        let forms = [
+            Form::Boltzmann,
+            Form::Constant,
+            Form::PolyCurrent { degree: 3 },
+            Form::ExpCurrent,
+            Form::PolyDifference { degree: 1 },
+            Form::ExpDifference,
+            Form::Coho83a { m: 10.0 },
+        ];
+        for f in forms {
+            for h_i in [0.0, 1.0, 50.0, 1e6] {
+                for dh in [0.0, 0.5, 1.0, 100.0] {
+                    for y in [1e-6, 0.5, 1.0, 10.0, 1e6] {
+                        let p = f.probability(h_i, h_i + dh, y);
+                        assert!(
+                            (0.0..=1.0).contains(&p),
+                            "{f:?} h={h_i} dh={dh} y={y} p={p}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! The rejection-counter gate that makes `g = 1` usable under the Figure-1
+//! strategy.
+//!
+//! Accepting *every* uphill perturbation (as a literal `g = 1` would) turns
+//! the Figure-1 strategy into a random walk. The paper's fix (§3):
+//!
+//! > "Each time a random perturbation reduces the energy, a counter is set to
+//! > zero. Each time the energy is increased the counter is incremented by 1.
+//! > However, the higher energy configuration does not become the starting
+//! > point for further perturbations until the counter becomes 18. At this
+//! > time, the counter is reset to 1."
+//!
+//! Note the asymmetric resets — to 0 on a cost reduction, to 1 on a gated
+//! acceptance — which this implementation preserves exactly.
+
+/// The paper's gate period: an uphill move is accepted once every 18
+/// consecutive non-improving perturbations.
+pub const PAPER_GATE_PERIOD: u32 = 18;
+
+/// A deterministic uphill-acceptance gate (§3).
+///
+/// # Examples
+///
+/// ```
+/// use anneal_core::accept::Gate;
+///
+/// let mut gate = Gate::new(3);
+/// assert!(!gate.on_uphill()); // counter = 1
+/// assert!(!gate.on_uphill()); // counter = 2
+/// assert!(gate.on_uphill()); // counter = 3 → accept, reset to 1
+/// assert!(!gate.on_uphill()); // counter = 2
+/// assert!(gate.on_uphill()); // counter = 3 → accept
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Gate {
+    period: u32,
+    counter: u32,
+}
+
+impl Gate {
+    /// A gate that opens on every `period`-th consecutive uphill proposal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0`.
+    pub fn new(period: u32) -> Self {
+        assert!(period > 0, "gate period must be positive");
+        Gate { period, counter: 0 }
+    }
+
+    /// The paper's gate (period 18).
+    pub fn paper() -> Self {
+        Gate::new(PAPER_GATE_PERIOD)
+    }
+
+    /// Records an uphill (energy-increasing) proposal; returns `true` when
+    /// the gate opens, i.e. the proposal should be accepted.
+    pub fn on_uphill(&mut self) -> bool {
+        self.counter += 1;
+        if self.counter >= self.period {
+            self.counter = 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Records an energy-reducing perturbation, resetting the counter to 0.
+    pub fn on_downhill(&mut self) {
+        self.counter = 0;
+    }
+
+    /// Restores the gate to its initial state (for run reuse).
+    pub fn reset(&mut self) {
+        self.counter = 0;
+    }
+
+    /// The configured period.
+    pub fn period(&self) -> u32 {
+        self.period
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_gate_accepts_every_18th() {
+        let mut g = Gate::paper();
+        let mut accepts = 0;
+        for _ in 0..17 {
+            assert!(!g.on_uphill());
+        }
+        assert!(g.on_uphill(), "18th consecutive uphill accepted");
+        // After acceptance the counter restarts at 1, so 16 more rejections
+        // precede the next acceptance.
+        for _ in 0..16 {
+            assert!(!g.on_uphill());
+        }
+        assert!(g.on_uphill());
+        accepts += 2;
+        assert_eq!(accepts, 2);
+    }
+
+    #[test]
+    fn downhill_resets_to_zero() {
+        let mut g = Gate::new(5);
+        for _ in 0..4 {
+            assert!(!g.on_uphill());
+        }
+        g.on_downhill();
+        // Full period required again.
+        for _ in 0..4 {
+            assert!(!g.on_uphill());
+        }
+        assert!(g.on_uphill());
+    }
+
+    #[test]
+    fn reset_after_accept_is_one_not_zero() {
+        // Period 2: accept on every 2nd uphill at first; afterwards the
+        // counter restarts at 1, so every subsequent uphill is the 2nd.
+        let mut g = Gate::new(2);
+        assert!(!g.on_uphill());
+        assert!(g.on_uphill());
+        assert!(g.on_uphill(), "post-accept counter starts at 1");
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_panics() {
+        let _ = Gate::new(0);
+    }
+}

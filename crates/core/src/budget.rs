@@ -1,0 +1,180 @@
+//! Computation budgets for time-equalized method comparison.
+//!
+//! The paper's central experimental control (§3) is that *every method gets
+//! the same amount of computer time*, and when a schedule has `k`
+//! temperatures the time is split evenly, `⌈B/k⌉` per temperature (§4.2.1
+//! allots `⌈5/k⌉` seconds per temperature).
+//!
+//! The paper measured CPU seconds on a VAX 11/780. For a machine-independent
+//! and *deterministic* reproduction, the primary budget currency here is the
+//! number of **cost evaluations** (one per proposed perturbation, plus every
+//! evaluation performed inside local search). Wall-clock budgets are also
+//! supported for paper-faithful runs.
+
+use std::time::{Duration, Instant};
+
+/// A bound on how much work a strategy may perform.
+///
+/// # Examples
+///
+/// ```
+/// use anneal_core::Budget;
+///
+/// let b = Budget::evaluations(60_000);
+/// assert_eq!(b.split(6), Budget::evaluations(10_000));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Budget {
+    /// At most this many cost evaluations.
+    Evaluations(u64),
+    /// At most this much wall-clock time.
+    WallClock(Duration),
+}
+
+impl Budget {
+    /// A budget of `n` cost evaluations.
+    pub fn evaluations(n: u64) -> Self {
+        Budget::Evaluations(n)
+    }
+
+    /// A wall-clock budget.
+    pub fn wall_clock(d: Duration) -> Self {
+        Budget::WallClock(d)
+    }
+
+    /// Splits the budget evenly across `k` temperatures, rounding up, as the
+    /// paper does with its per-temperature time allotment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn split(&self, k: usize) -> Budget {
+        assert!(k > 0, "schedule must have at least one temperature");
+        let k = k as u64;
+        match *self {
+            Budget::Evaluations(n) => Budget::Evaluations(n.div_ceil(k)),
+            Budget::WallClock(d) => {
+                Budget::WallClock(Duration::from_nanos((d.as_nanos() as u64).div_ceil(k)))
+            }
+        }
+    }
+
+    /// Scales the budget by an integer factor (used by the experiment
+    /// harness's `--scale` fast mode).
+    pub fn scale_div(&self, divisor: u64) -> Budget {
+        match *self {
+            Budget::Evaluations(n) => Budget::Evaluations((n / divisor).max(1)),
+            Budget::WallClock(d) => Budget::WallClock(d / divisor.max(1) as u32),
+        }
+    }
+}
+
+/// Tracks consumption against a [`Budget`].
+///
+/// Strategies call [`charge`](Meter::charge) once per cost evaluation and
+/// poll [`exhausted`](Meter::exhausted). For evaluation budgets the meter is
+/// fully deterministic; for wall-clock budgets it compares against a
+/// deadline.
+#[derive(Debug)]
+pub struct Meter {
+    limit: Budget,
+    evals: u64,
+    started: Instant,
+}
+
+impl Meter {
+    /// Starts a fresh meter against `limit`.
+    pub fn new(limit: Budget) -> Self {
+        Meter {
+            limit,
+            evals: 0,
+            started: Instant::now(),
+        }
+    }
+
+    /// Records `n` cost evaluations.
+    pub fn charge(&mut self, n: u64) {
+        self.evals += n;
+    }
+
+    /// Number of evaluations recorded so far.
+    pub fn evals(&self) -> u64 {
+        self.evals
+    }
+
+    /// Whether the budget is used up.
+    pub fn exhausted(&self) -> bool {
+        match self.limit {
+            Budget::Evaluations(n) => self.evals >= n,
+            Budget::WallClock(d) => self.started.elapsed() >= d,
+        }
+    }
+
+    /// Remaining evaluations, if this is an evaluation budget.
+    pub fn remaining_evals(&self) -> Option<u64> {
+        match self.limit {
+            Budget::Evaluations(n) => Some(n.saturating_sub(self.evals)),
+            Budget::WallClock(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_rounds_up() {
+        assert_eq!(Budget::evaluations(10).split(3), Budget::evaluations(4));
+        assert_eq!(Budget::evaluations(12).split(6), Budget::evaluations(2));
+        assert_eq!(Budget::evaluations(1).split(6), Budget::evaluations(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one temperature")]
+    fn split_zero_panics() {
+        let _ = Budget::evaluations(10).split(0);
+    }
+
+    #[test]
+    fn meter_counts_and_exhausts() {
+        let mut m = Meter::new(Budget::evaluations(5));
+        assert!(!m.exhausted());
+        m.charge(3);
+        assert_eq!(m.evals(), 3);
+        assert_eq!(m.remaining_evals(), Some(2));
+        assert!(!m.exhausted());
+        m.charge(2);
+        assert!(m.exhausted());
+        assert_eq!(m.remaining_evals(), Some(0));
+    }
+
+    #[test]
+    fn wall_clock_meter() {
+        let m = Meter::new(Budget::wall_clock(Duration::from_secs(3600)));
+        assert!(!m.exhausted());
+        assert_eq!(m.remaining_evals(), None);
+        let m2 = Meter::new(Budget::wall_clock(Duration::ZERO));
+        assert!(m2.exhausted());
+    }
+
+    #[test]
+    fn scale_div_floors_at_one() {
+        assert_eq!(
+            Budget::evaluations(100).scale_div(7),
+            Budget::evaluations(14)
+        );
+        assert_eq!(Budget::evaluations(3).scale_div(10), Budget::evaluations(1));
+    }
+
+    #[test]
+    fn wall_clock_split() {
+        let b = Budget::wall_clock(Duration::from_secs(5));
+        match b.split(6) {
+            Budget::WallClock(d) => {
+                assert!(d >= Duration::from_millis(833) && d <= Duration::from_millis(834));
+            }
+            _ => panic!("split must preserve budget kind"),
+        }
+    }
+}

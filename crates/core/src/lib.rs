@@ -1,0 +1,83 @@
+#![warn(missing_docs)]
+
+//! # anneal-core
+//!
+//! A Monte Carlo optimization framework reproducing the machinery of
+//! S. Nahar, S. Sahni and E. Shragowitz, *"Experiments with simulated
+//! annealing"*, 22nd Design Automation Conference, 1985.
+//!
+//! The paper compares classic simulated annealing against 19 other
+//! acceptance-function ("g function") classes under two control strategies,
+//! at equal computational cost. This crate provides:
+//!
+//! * the [`Problem`] trait — plug in any combinatorial optimization problem
+//!   with a random-perturbation neighborhood;
+//! * the two control strategies, [`Figure1`] (Metropolis/Kirkpatrick chain)
+//!   and [`Figure2`] (local-opt-then-kick, after Cohoon & Sahni);
+//! * all 20 acceptance-function classes of §3 plus the [COHO83a] baseline,
+//!   as [`GFunction`] constructors;
+//! * temperature [`Schedule`]s (single, geometric/Kirkpatrick, uniform/GOLD84);
+//! * equal-cost comparison via [`Budget`]s counted in cost evaluations;
+//! * a §4.2.1-style temperature [`Tuner`](tune::Tuner);
+//! * plain local search and the time-equalized [`multistart`](local::multistart)
+//!   baseline protocol of [LIN73]/[GOLD84].
+//!
+//! # Quick start
+//!
+//! ```
+//! use anneal_core::{Annealer, Budget, GFunction, Problem, Rng, RngExt, Strategy};
+//!
+//! // Minimize the number of set bits in a word by flipping random bits.
+//! struct MinimizeBits;
+//! impl Problem for MinimizeBits {
+//!     type State = u64;
+//!     type Move = u32;
+//!     fn random_state(&self, rng: &mut dyn Rng) -> u64 {
+//!         rng.random_range(0..1 << 16)
+//!     }
+//!     fn cost(&self, s: &u64) -> f64 {
+//!         s.count_ones() as f64
+//!     }
+//!     fn propose(&self, _: &u64, rng: &mut dyn Rng) -> u32 {
+//!         rng.random_range(0..16)
+//!     }
+//!     fn apply(&self, s: &mut u64, m: &u32) {
+//!         *s ^= 1 << m;
+//!     }
+//! }
+//!
+//! // The paper's headline method: g = 1 — no temperatures to tune.
+//! let result = Annealer::new(&MinimizeBits)
+//!     .strategy(Strategy::Figure1)
+//!     .budget(Budget::evaluations(30_000))
+//!     .seed(1985)
+//!     .run(&mut GFunction::unit());
+//! assert_eq!(result.best_cost, 0.0);
+//! ```
+
+pub mod accept;
+mod annealer;
+mod budget;
+pub mod local;
+mod problem;
+mod range;
+mod schedule;
+mod seeds;
+mod stats;
+pub mod strategy;
+pub mod tune;
+
+pub use accept::{Form, GFunction, Gate, KIRKPATRICK_RATIO, PAPER_GATE_PERIOD};
+pub use annealer::{Annealer, Strategy};
+pub use budget::{Budget, Meter};
+pub use problem::Problem;
+pub use range::{estimate_delta_stats, white84_schedule, DeltaStats};
+pub use schedule::Schedule;
+pub use seeds::derive_seed;
+pub use stats::{RunResult, RunStats, StopReason};
+pub use strategy::{Figure1, Figure2, Rejectionless, DEFAULT_EQUILIBRIUM};
+pub use tune::{CandidateOutcome, TuneReport, Tuner};
+
+// Re-export the rand traits that appear in this crate's public API so
+// downstream crates need not depend on a matching rand version explicitly.
+pub use rand::{Rng, RngExt};

@@ -1,0 +1,214 @@
+//! Plain local search: descent to a local optimum and the time-equalized
+//! multistart protocol used as a Monte-Carlo-free baseline.
+//!
+//! [GOLD84] compared simulated annealing against the 2-opt heuristic of
+//! [LIN73] by giving 2-opt "enough starting random tours to make its run time
+//! comparable to that of simulated annealing" (§2). [`multistart`] implements
+//! exactly that protocol generically: repeat (random state → descend) until
+//! the shared budget runs out, keeping the best local optimum.
+
+use rand::Rng;
+
+use crate::budget::{Budget, Meter};
+use crate::problem::Problem;
+use crate::stats::{RunResult, RunStats, StopReason};
+
+/// Descends from `state` to a local optimum, charging every cost probe to
+/// `meter`. Returns the final cost and the number of improving moves applied.
+///
+/// Descent stops early (possibly short of a local optimum) when the meter is
+/// exhausted.
+pub fn descend<P: Problem>(problem: &P, state: &mut P::State, meter: &mut Meter) -> (f64, u64) {
+    let mut applied = 0;
+    loop {
+        if meter.exhausted() {
+            break;
+        }
+        let mut probes = 0;
+        let improving = problem.improving_move(state, &mut probes);
+        meter.charge(probes);
+        match improving {
+            Some(mv) => {
+                problem.apply(state, &mv);
+                meter.charge(1);
+                applied += 1;
+            }
+            None => break,
+        }
+    }
+    (problem.cost(state), applied)
+}
+
+/// The multistart local-search baseline: random restarts, each descended to
+/// a local optimum, until `budget` is exhausted; the best local optimum wins.
+///
+/// # Examples
+///
+/// ```
+/// use anneal_core::{local::multistart, Budget, Problem, Rng, RngExt};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// struct Parabola;
+/// impl Problem for Parabola {
+///     type State = i64;
+///     type Move = i64;
+///     fn random_state(&self, rng: &mut dyn Rng) -> i64 {
+///         rng.random_range(-50..50)
+///     }
+///     fn cost(&self, s: &i64) -> f64 {
+///         (s * s) as f64
+///     }
+///     fn propose(&self, _: &i64, rng: &mut dyn Rng) -> i64 {
+///         if rng.random_bool(0.5) { 1 } else { -1 }
+///     }
+///     fn apply(&self, s: &mut i64, m: &i64) {
+///         *s += m;
+///     }
+///     fn undo(&self, s: &mut i64, m: &i64) {
+///         *s -= m;
+///     }
+///     fn improving_move(&self, s: &i64, probes: &mut u64) -> Option<i64> {
+///         *probes += 2;
+///         if *s > 0 { Some(-1) } else if *s < 0 { Some(1) } else { None }
+///     }
+/// }
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let r = multistart(&Parabola, Budget::evaluations(1_000), &mut rng);
+/// assert_eq!(r.best_cost, 0.0);
+/// ```
+pub fn multistart<P: Problem>(
+    problem: &P,
+    budget: Budget,
+    rng: &mut dyn Rng,
+) -> RunResult<P::State> {
+    let mut meter = Meter::new(budget);
+    let mut stats = RunStats::default();
+
+    let mut state = problem.random_state(rng);
+    let initial_cost = problem.cost(&state);
+    meter.charge(1);
+    let (mut cost, applied) = descend(problem, &mut state, &mut meter);
+    stats.accepted_downhill += applied;
+    stats.descents += 1;
+    let mut best_state = state.clone();
+    let mut best_cost = cost;
+
+    while !meter.exhausted() {
+        state = problem.random_state(rng);
+        meter.charge(1);
+        let (c, applied) = descend(problem, &mut state, &mut meter);
+        cost = c;
+        stats.accepted_downhill += applied;
+        stats.descents += 1;
+        if cost < best_cost {
+            best_cost = cost;
+            best_state = state.clone();
+        }
+    }
+
+    stats.evals = meter.evals();
+    RunResult {
+        best_state,
+        best_cost,
+        initial_cost,
+        final_cost: cost,
+        stop: StopReason::Budget,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+    /// A deceptive landscape: two basins, descent by ±1, global optimum at
+    /// x = 100 (cost −50), local optimum at x = 0 (cost 0).
+    struct TwoBasins;
+    impl Problem for TwoBasins {
+        type State = i64;
+        type Move = i64;
+        fn random_state(&self, rng: &mut dyn Rng) -> i64 {
+            rng.random_range(-20..120)
+        }
+        fn cost(&self, s: &i64) -> f64 {
+            let x = *s as f64;
+            // Two basins: a shallow one bottoming at x = 0 (cost 0) and the
+            // global one bottoming at x = 100 (cost -50).
+            if x < 50.0 {
+                x.abs()
+            } else {
+                (x - 100.0).abs() - 50.0
+            }
+        }
+        fn propose(&self, _: &i64, rng: &mut dyn Rng) -> i64 {
+            if rng.random_bool(0.5) {
+                1
+            } else {
+                -1
+            }
+        }
+        fn apply(&self, s: &mut i64, m: &i64) {
+            *s += m;
+        }
+        fn undo(&self, s: &mut i64, m: &i64) {
+            *s -= m;
+        }
+        fn improving_move(&self, s: &i64, probes: &mut u64) -> Option<i64> {
+            let here = self.cost(s);
+            for m in [-1i64, 1] {
+                *probes += 1;
+                if self.cost(&(s + m)) < here {
+                    return Some(m);
+                }
+            }
+            None
+        }
+    }
+
+    #[test]
+    fn descend_reaches_local_optimum() {
+        let p = TwoBasins;
+        let mut meter = Meter::new(Budget::evaluations(10_000));
+        let mut s = 30i64; // basin border region
+        let (c, applied) = descend(&p, &mut s, &mut meter);
+        assert!(applied > 0);
+        let mut probes = 0;
+        assert!(
+            p.improving_move(&s, &mut probes).is_none(),
+            "must be locally optimal"
+        );
+        assert!((p.cost(&s) - c).abs() < 1e-12);
+    }
+
+    #[test]
+    fn descend_respects_budget() {
+        let p = TwoBasins;
+        let mut meter = Meter::new(Budget::evaluations(5));
+        let mut s = 30i64;
+        descend(&p, &mut s, &mut meter);
+        assert!(meter.evals() <= 8, "stops promptly after exhaustion");
+    }
+
+    #[test]
+    fn multistart_escapes_poor_basins() {
+        let p = TwoBasins;
+        let mut rng = StdRng::seed_from_u64(3);
+        let r = multistart(&p, Budget::evaluations(20_000), &mut rng);
+        // The global basin is wide; enough restarts must find cost -50.
+        assert_eq!(r.best_cost, -50.0);
+        assert!(r.stats.descents > 1);
+    }
+
+    #[test]
+    fn multistart_is_deterministic() {
+        let p = TwoBasins;
+        let mut a_rng = StdRng::seed_from_u64(9);
+        let mut b_rng = StdRng::seed_from_u64(9);
+        let a = multistart(&p, Budget::evaluations(2_000), &mut a_rng);
+        let b = multistart(&p, Budget::evaluations(2_000), &mut b_rng);
+        assert_eq!(a.best_cost, b.best_cost);
+        assert_eq!(a.stats.descents, b.stats.descents);
+    }
+}

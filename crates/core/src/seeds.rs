@@ -1,0 +1,59 @@
+//! Deterministic seed derivation.
+//!
+//! The paper's fairness protocol requires that every method see the *same*
+//! starting arrangement on each instance ("Each g class used the same
+//! initial arrangement", §4.2.1). The experiment harness achieves this by
+//! deriving one seed per (base, index) pair with a SplitMix64 step, so the
+//! per-instance seed is independent of which method is being run.
+
+/// Derives a well-mixed child seed from `base` and a stream index.
+///
+/// Uses the SplitMix64 finalizer, which maps distinct inputs to
+/// statistically independent outputs.
+///
+/// # Examples
+///
+/// ```
+/// use anneal_core::derive_seed;
+///
+/// let a = derive_seed(42, 0);
+/// let b = derive_seed(42, 1);
+/// assert_ne!(a, b);
+/// assert_eq!(a, derive_seed(42, 0));
+/// ```
+pub fn derive_seed(base: u64, index: u64) -> u64 {
+    let mut z = base.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(derive_seed(1, 2), derive_seed(1, 2));
+    }
+
+    #[test]
+    fn distinct_across_indices_and_bases() {
+        let mut seen = HashSet::new();
+        for base in 0..16u64 {
+            for idx in 0..64u64 {
+                assert!(
+                    seen.insert(derive_seed(base, idx)),
+                    "collision at {base},{idx}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_base_is_fine() {
+        assert_ne!(derive_seed(0, 0), 0);
+        assert_ne!(derive_seed(0, 0), derive_seed(0, 1));
+    }
+}

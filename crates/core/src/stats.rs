@@ -1,0 +1,111 @@
+//! Run outcomes and instrumentation.
+
+/// Why a run (or a temperature stage) ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum StopReason {
+    /// The computation budget was exhausted.
+    Budget,
+    /// The equilibrium counter reached `n` at the last temperature
+    /// (Figure 1 Step 4 / Figure 2 Step 4 with `temp = k`).
+    Equilibrium,
+}
+
+/// Counters collected during a strategy run.
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RunStats {
+    /// Cost evaluations charged against the budget (random perturbations plus
+    /// local-search probes).
+    pub evals: u64,
+    /// Random perturbations proposed.
+    pub proposals: u64,
+    /// Perturbations accepted because they reduced cost.
+    pub accepted_downhill: u64,
+    /// Uphill (or flat) perturbations accepted by the g function.
+    pub accepted_uphill: u64,
+    /// Uphill perturbations rejected.
+    pub rejected_uphill: u64,
+    /// Temperature advances triggered by the equilibrium counter.
+    pub equilibrium_advances: u64,
+    /// Temperature advances triggered by per-temperature budget exhaustion.
+    pub budget_advances: u64,
+    /// Local-optimum descents completed (Figure-2 strategy only).
+    pub descents: u64,
+    /// Best-cost trajectory samples `(evals, best_cost)`, if sampling was
+    /// enabled on the strategy.
+    pub trajectory: Vec<(u64, f64)>,
+}
+
+impl RunStats {
+    /// Fraction of proposals accepted (either direction); 0 if none proposed.
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.proposals == 0 {
+            0.0
+        } else {
+            (self.accepted_downhill + self.accepted_uphill) as f64 / self.proposals as f64
+        }
+    }
+}
+
+/// The outcome of one strategy run.
+#[derive(Debug, Clone)]
+pub struct RunResult<S> {
+    /// Best state observed during the run.
+    pub best_state: S,
+    /// Cost of [`best_state`](RunResult::best_state).
+    pub best_cost: f64,
+    /// Cost of the starting state.
+    pub initial_cost: f64,
+    /// Cost of the final (not necessarily best) state of the chain.
+    pub final_cost: f64,
+    /// Why the run stopped.
+    pub stop: StopReason,
+    /// Instrumentation counters.
+    pub stats: RunStats,
+}
+
+impl<S> RunResult<S> {
+    /// Total cost reduction achieved: `initial_cost - best_cost`.
+    ///
+    /// This is the metric summed over 30 instances in the paper's tables
+    /// ("total reduction in [density] values").
+    pub fn reduction(&self) -> f64 {
+        self.initial_cost - self.best_cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acceptance_rate_handles_zero_proposals() {
+        assert_eq!(RunStats::default().acceptance_rate(), 0.0);
+    }
+
+    #[test]
+    fn acceptance_rate_combines_directions() {
+        let s = RunStats {
+            proposals: 10,
+            accepted_downhill: 3,
+            accepted_uphill: 2,
+            rejected_uphill: 5,
+            ..Default::default()
+        };
+        assert!((s.acceptance_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reduction_is_initial_minus_best() {
+        let r = RunResult {
+            best_state: (),
+            best_cost: 60.0,
+            initial_cost: 86.0,
+            final_cost: 70.0,
+            stop: StopReason::Budget,
+            stats: RunStats::default(),
+        };
+        assert!((r.reduction() - 26.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,111 @@
+//! The paper's two Monte Carlo control strategies.
+//!
+//! * [`Figure1`] — the Metropolis/Kirkpatrick adaptation: random
+//!   perturbations, downhill always accepted, uphill accepted with
+//!   probability `g_temp`, equilibrium counter advancing the temperature.
+//! * [`Figure2`] — the Cohoon/Sahni variant: descend to a local optimum
+//!   first, then attempt uphill kicks.
+//! * [`Rejectionless`] — the Greene/Supowit [GREE84] variant discussed in
+//!   §2: weigh every neighbor and sample one, so no step is wasted on a
+//!   rejection (at the cost of evaluating the whole neighborhood).
+//!
+//! Both strategies charge every cost evaluation against a shared
+//! [`Budget`](crate::Budget) split evenly over the temperature schedule, so
+//! methods can be compared at equal computational cost (§3).
+
+mod fig1;
+mod fig2;
+mod rejectionless;
+
+pub use fig1::Figure1;
+pub use fig2::Figure2;
+pub use rejectionless::Rejectionless;
+
+use crate::budget::{Budget, Meter};
+use crate::problem::Problem;
+use crate::stats::RunStats;
+
+/// Default equilibrium counter limit `n` (the paper states the mechanism but
+/// not the constant; see DESIGN.md).
+pub const DEFAULT_EQUILIBRIUM: u64 = 250;
+
+/// Shared bookkeeping for a strategy run: per-temperature metering, best-state
+/// tracking, statistics and optional trajectory sampling.
+pub(crate) struct Run<P: Problem> {
+    pub stats: RunStats,
+    pub meter: Meter,
+    per_temp: Budget,
+    pub temp: usize,
+    k: usize,
+    pub counter: u64,
+    pub total_evals: u64,
+    trajectory_every: u64,
+    last_sample: u64,
+    pub best_state: P::State,
+    pub best_cost: f64,
+}
+
+impl<P: Problem> Run<P> {
+    pub fn new(
+        budget: Budget,
+        k: usize,
+        trajectory_every: u64,
+        start: &P::State,
+        cost: f64,
+    ) -> Self {
+        let per_temp = budget.split(k);
+        Run {
+            stats: RunStats::default(),
+            meter: Meter::new(per_temp),
+            per_temp,
+            temp: 0,
+            k,
+            counter: 0,
+            total_evals: 0,
+            trajectory_every,
+            last_sample: 0,
+            best_state: start.clone(),
+            best_cost: cost,
+        }
+    }
+
+    /// Charges `n` evaluations and samples the trajectory if due.
+    pub fn charge(&mut self, n: u64) {
+        self.meter.charge(n);
+        self.total_evals += n;
+        self.stats.evals += n;
+        if self.trajectory_every > 0 && self.total_evals - self.last_sample >= self.trajectory_every
+        {
+            self.last_sample = self.total_evals;
+            self.stats
+                .trajectory
+                .push((self.total_evals, self.best_cost));
+        }
+    }
+
+    /// Records a new best state if `cost` improves on the incumbent.
+    pub fn observe(&mut self, state: &P::State, cost: f64) {
+        if cost < self.best_cost {
+            self.best_cost = cost;
+            self.best_state = state.clone();
+        }
+    }
+
+    /// Advances to the next temperature if one remains, resetting the
+    /// equilibrium counter and the per-temperature meter. Returns `false`
+    /// when already at the last temperature (the caller stops the run).
+    pub fn advance_temp(&mut self, due_to_budget: bool) -> bool {
+        if self.temp + 1 >= self.k {
+            return false;
+        }
+        self.temp += 1;
+        self.counter = 0;
+        self.meter = Meter::new(self.per_temp);
+        if due_to_budget {
+            self.stats.budget_advances += 1;
+        } else {
+            self.stats.equilibrium_advances += 1;
+        }
+        true
+    }
+}

@@ -1,0 +1,201 @@
+//! Property-based tests for the framework's invariants.
+
+use anneal_core::{
+    derive_seed, Budget, Figure1, Figure2, Form, GFunction, Gate, Meter, Problem, Rng, RngExt,
+    Schedule,
+};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Toy problem for strategy-level properties.
+struct BitCount {
+    bits: u32,
+}
+impl Problem for BitCount {
+    type State = u64;
+    type Move = u32;
+    fn random_state(&self, rng: &mut dyn Rng) -> u64 {
+        rng.random_range(0..(1u64 << self.bits))
+    }
+    fn cost(&self, s: &u64) -> f64 {
+        s.count_ones() as f64
+    }
+    fn propose(&self, _: &u64, rng: &mut dyn Rng) -> u32 {
+        rng.random_range(0..self.bits)
+    }
+    fn apply(&self, s: &mut u64, m: &u32) {
+        *s ^= 1 << m;
+    }
+    fn improving_move(&self, s: &u64, probes: &mut u64) -> Option<u32> {
+        for b in 0..self.bits {
+            *probes += 1;
+            if s & (1u64 << b) != 0 {
+                return Some(b);
+            }
+        }
+        None
+    }
+}
+
+fn any_form() -> impl Strategy<Value = Form> {
+    prop_oneof![
+        Just(Form::Boltzmann),
+        Just(Form::Constant),
+        (1u32..=3).prop_map(|degree| Form::PolyCurrent { degree }),
+        Just(Form::ExpCurrent),
+        (1u32..=3).prop_map(|degree| Form::PolyDifference { degree }),
+        Just(Form::ExpDifference),
+        (1.0f64..1000.0).prop_map(|m| Form::Coho83a { m }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn probabilities_stay_in_unit_interval(
+        form in any_form(),
+        h_i in 0.0f64..1e9,
+        dh in 0.0f64..1e6,
+        y in 1e-9f64..1e9,
+    ) {
+        let p = form.probability(h_i, h_i + dh, y);
+        prop_assert!((0.0..=1.0).contains(&p), "{form:?} gave {p}");
+    }
+
+    #[test]
+    fn boltzmann_monotone_in_delta(
+        h_i in 0.0f64..1e6,
+        dh1 in 0.0f64..1e3,
+        dh2 in 0.0f64..1e3,
+        y in 1e-3f64..1e3,
+    ) {
+        let (lo, hi) = if dh1 <= dh2 { (dh1, dh2) } else { (dh2, dh1) };
+        let p_lo = Form::Boltzmann.probability(h_i, h_i + lo, y);
+        let p_hi = Form::Boltzmann.probability(h_i, h_i + hi, y);
+        prop_assert!(p_lo >= p_hi, "smaller uphill deltas are at least as acceptable");
+    }
+
+    #[test]
+    fn difference_forms_monotone_in_delta(
+        degree in 1u32..=3,
+        h_i in 0.0f64..1e6,
+        dh1 in 1e-3f64..1e3,
+        dh2 in 1e-3f64..1e3,
+        y in 1e-3f64..1e3,
+    ) {
+        let form = Form::PolyDifference { degree };
+        let (lo, hi) = if dh1 <= dh2 { (dh1, dh2) } else { (dh2, dh1) };
+        let p_lo = form.probability(h_i, h_i + lo, y);
+        let p_hi = form.probability(h_i, h_i + hi, y);
+        prop_assert!(p_lo >= p_hi);
+    }
+
+    #[test]
+    fn gate_accepts_exactly_on_period(period in 1u32..100, uphills in 0u32..500) {
+        let mut gate = Gate::new(period);
+        let mut accepted = 0u32;
+        for _ in 0..uphills {
+            if gate.on_uphill() {
+                accepted += 1;
+            }
+        }
+        // Reference model: counter increments per uphill, opens at `period`,
+        // restarts at 1 (the paper's asymmetric reset).
+        let mut counter = 0u32;
+        let mut direct = 0u32;
+        for _ in 0..uphills {
+            counter += 1;
+            if counter >= period {
+                counter = 1;
+                direct += 1;
+            }
+        }
+        prop_assert_eq!(accepted, direct);
+    }
+
+    #[test]
+    fn budget_split_conserves_total(n in 1u64..1_000_000, k in 1usize..32) {
+        let per = Budget::evaluations(n).split(k);
+        match per {
+            Budget::Evaluations(p) => {
+                prop_assert!(p * k as u64 >= n, "split covers the whole budget");
+                prop_assert!(p <= n, "a share never exceeds the total");
+                prop_assert!((p.saturating_sub(1)) * (k as u64) < n, "shares are minimal");
+            }
+            _ => prop_assert!(false, "kind preserved"),
+        }
+    }
+
+    #[test]
+    fn meter_exhausts_exactly_at_limit(limit in 1u64..10_000, step in 1u64..97) {
+        let mut m = Meter::new(Budget::evaluations(limit));
+        let mut charged = 0u64;
+        while !m.exhausted() {
+            m.charge(step);
+            charged += step;
+            prop_assert!(charged < limit + step);
+        }
+        prop_assert!(charged >= limit);
+    }
+
+    #[test]
+    fn geometric_schedule_is_strictly_decreasing(
+        y1 in 1e-3f64..1e6,
+        ratio in 0.01f64..0.999,
+        k in 1usize..20,
+    ) {
+        let s = Schedule::geometric(y1, ratio, k);
+        prop_assert_eq!(s.len(), k);
+        for w in s.values().windows(2) {
+            prop_assert!(w[0] > w[1]);
+        }
+    }
+
+    #[test]
+    fn derive_seed_is_injective_in_small_ranges(base in any::<u64>()) {
+        let mut seen = std::collections::HashSet::new();
+        for idx in 0..256u64 {
+            prop_assert!(seen.insert(derive_seed(base, idx)));
+        }
+    }
+
+    #[test]
+    fn figure1_best_never_exceeds_initial(seed in any::<u64>(), budget in 10u64..3000) {
+        let p = BitCount { bits: 16 };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let start = p.random_state(&mut rng);
+        let mut g = GFunction::six_temp_annealing(2.0);
+        let r = Figure1::default().run(&p, &mut g, start, Budget::evaluations(budget), &mut rng);
+        prop_assert!(r.best_cost <= r.initial_cost);
+        prop_assert!(r.best_cost <= r.final_cost);
+        prop_assert!(r.stats.evals <= budget + 6, "budget respected within one step per temp");
+    }
+
+    #[test]
+    fn figure2_best_never_exceeds_initial(seed in any::<u64>(), budget in 10u64..3000) {
+        let p = BitCount { bits: 16 };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let start = p.random_state(&mut rng);
+        let mut g = GFunction::unit();
+        let r = Figure2::default().run(&p, &mut g, start, Budget::evaluations(budget), &mut rng);
+        prop_assert!(r.best_cost <= r.initial_cost);
+        // Descent probes arrive in bursts of up to `bits`, so allow one burst
+        // of overshoot.
+        prop_assert!(r.stats.evals <= budget + 17);
+    }
+
+    #[test]
+    fn strategies_are_deterministic(seed in any::<u64>()) {
+        let p = BitCount { bits: 12 };
+        let run = |s| {
+            let mut rng = StdRng::seed_from_u64(s);
+            let start = p.random_state(&mut rng);
+            let mut g = GFunction::two_level();
+            Figure1::default().run(&p, &mut g, start, Budget::evaluations(500), &mut rng)
+        };
+        let a = run(seed);
+        let b = run(seed);
+        prop_assert_eq!(a.best_cost, b.best_cost);
+        prop_assert_eq!(a.final_cost, b.final_cost);
+        prop_assert_eq!(a.stats, b.stats);
+    }
+}

@@ -1,0 +1,140 @@
+//! `repro` — regenerate the paper's tables from the command line.
+//!
+//! ```text
+//! repro [OPTIONS] <EXPERIMENT>...
+//!
+//! EXPERIMENTS:
+//!   tuning      §4.2.1 temperature sweep
+//!   table4.1    GOLA, random starts, 20 g classes + baselines
+//!   table4.2a   GOLA from Goto arrangements
+//!   table4.2b   Figure 1 vs Figure 2 at 180 sec
+//!   table4.2c   NOLA, random starts
+//!   table4.2d   NOLA from Goto arrangements
+//!   partition   circuit-partition extension ([NAHA84])
+//!   tsp         TSP extension ([GOLD84]/[NAHA84])
+//!   ablation    design-choice ablations (gate period, schedule length, n)
+//!   trajectory  best-density convergence series for the headline methods
+//!   diagnostics chain-behaviour statistics for the full roster
+//!   all         everything above
+//!
+//! OPTIONS:
+//!   --scale N   divide every budget by N (default 1 = paper-faithful)
+//!   --seed N    base seed (default 1985)
+//!   --csv       emit CSV instead of aligned text
+//! ```
+
+use std::process::ExitCode;
+
+use anneal_experiments::{
+    ablation, diagnostics, ext_partition, ext_tsp, tables, trajectory, tuning, SuiteConfig, Table,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("usage: repro [--scale N] [--seed N] [--csv] <experiment>...");
+            eprintln!(
+                "experiments: tuning table4.1 table4.2a table4.2b table4.2c table4.2d \
+                 partition tsp ablation trajectory diagnostics all"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut config = SuiteConfig::paper();
+    let mut csv = false;
+    let mut experiments: Vec<String> = Vec::new();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = it.next().ok_or("--scale needs a value")?;
+                let n: u64 = v.parse().map_err(|_| format!("bad --scale value `{v}`"))?;
+                if n == 0 {
+                    return Err("--scale must be positive".into());
+                }
+                config = SuiteConfig {
+                    scale: anneal_experiments::Scale::new(n),
+                    ..config
+                };
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                let seed: u64 = v.parse().map_err(|_| format!("bad --seed value `{v}`"))?;
+                config = config.with_seed(seed);
+            }
+            "--csv" => csv = true,
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}`"));
+            }
+            exp => experiments.push(exp.to_string()),
+        }
+    }
+
+    if experiments.is_empty() {
+        return Err("no experiment given".into());
+    }
+    if experiments.iter().any(|e| e == "all") {
+        experiments = [
+            "tuning",
+            "table4.1",
+            "table4.2a",
+            "table4.2b",
+            "table4.2c",
+            "table4.2d",
+            "partition",
+            "tsp",
+            "ablation",
+            "trajectory",
+            "diagnostics",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+
+    for exp in &experiments {
+        for table in dispatch(exp, &config)? {
+            if csv {
+                print!("{}", table.to_csv());
+            } else {
+                println!("{table}");
+            }
+        }
+    }
+    Ok(())
+}
+
+fn dispatch(exp: &str, config: &SuiteConfig) -> Result<Vec<Table>, String> {
+    Ok(match exp {
+        "tuning" => {
+            let out = tuning::run(config);
+            eprintln!("tuned: {:?}", out.tuned);
+            vec![out.table]
+        }
+        "table4.1" => vec![tables::table4_1::run(config)],
+        "table4.2a" => vec![tables::table4_2a::run(config)],
+        "table4.2b" => vec![tables::table4_2b::run(config)],
+        "table4.2c" => vec![tables::table4_2c::run(config)],
+        "table4.2d" => vec![tables::table4_2d::run(config)],
+        "partition" => vec![ext_partition::run(config)],
+        "tsp" => vec![ext_tsp::run(config)],
+        "ablation" => vec![
+            ablation::gate_period(config),
+            ablation::schedule_length(config),
+            ablation::equilibrium_limit(config),
+            ablation::rejectionless(config),
+            ablation::nola_net_size(config),
+            ablation::instance_size(config),
+        ],
+        "trajectory" => vec![trajectory::run(config)],
+        "diagnostics" => vec![diagnostics::run(config)],
+        other => return Err(format!("unknown experiment `{other}`")),
+    })
+}

@@ -1,0 +1,130 @@
+//! Mapping the paper's VAX 11/780 CPU-second budgets to deterministic
+//! evaluation budgets.
+//!
+//! The paper's experimental control is equal CPU time per method (§3),
+//! measured on a VAX 11/780 running Pascal. We substitute **cost
+//! evaluations** as the budget currency (see DESIGN.md): one evaluation per
+//! proposed perturbation, including local-search probes.
+//!
+//! The conversion constant is calibrated to the paper's *regime*, not just
+//! its hardware: a ~0.5 MIPS VAX running a Pascal implementation that
+//! recomputes a 150-net density per perturbation (~2,000 instructions)
+//! manages on the order of a few hundred perturbations per second. At that
+//! rate the paper's 6/9/12-second columns sit in the discriminative region
+//! where method rankings spread out (Table 4.1's 447–654 range); a much
+//! higher rate would let every method saturate near the optimum on
+//! 15-element instances and erase the table's shape. We use 250
+//! evaluations per paper-second, which reproduces the spread.
+
+use anneal_core::Budget;
+
+/// Evaluations per simulated VAX 11/780 CPU second, calibrated on GOLA
+/// (two-pin) instances.
+pub const EVALS_PER_VAX_SECOND: u64 = 250;
+
+/// Relative cost of a NOLA evaluation: the paper's budget currency is CPU
+/// *time*, and recomputing the density of 150 nets averaging 6 pins costs
+/// about three times the two-pin case, so a NOLA second buys ~3× fewer
+/// perturbations. The NOLA table runners divide their budgets by this
+/// factor.
+pub const NOLA_EVAL_COST: u64 = 3;
+
+/// The paper's per-instance budget triple for Tables 4.1 and 4.2(a)/(c)/(d).
+pub const PAPER_SECONDS: [f64; 3] = [6.0, 9.0, 12.0];
+
+/// The paper's per-instance budget for Table 4.2(b) (3 minutes).
+pub const PAPER_SECONDS_42B: f64 = 180.0;
+
+/// An evaluation budget equivalent to `seconds` of paper CPU time.
+///
+/// # Panics
+///
+/// Panics if `seconds` is not finite and positive.
+///
+/// # Examples
+///
+/// ```
+/// use anneal_core::Budget;
+/// use anneal_experiments::vax_seconds;
+///
+/// assert_eq!(vax_seconds(6.0), Budget::evaluations(1_500));
+/// ```
+pub fn vax_seconds(seconds: f64) -> Budget {
+    assert!(
+        seconds.is_finite() && seconds > 0.0,
+        "budget seconds must be finite and positive"
+    );
+    Budget::evaluations((seconds * EVALS_PER_VAX_SECOND as f64).round() as u64)
+}
+
+/// A global scale knob for the experiment harness: budgets are divided by
+/// `divisor`, trading fidelity for wall-clock time. `Scale::FULL` is
+/// paper-faithful; integration tests use larger divisors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Budget divisor (≥ 1).
+    pub divisor: u64,
+}
+
+impl Scale {
+    /// Paper-faithful budgets.
+    pub const FULL: Scale = Scale { divisor: 1 };
+
+    /// A scale dividing every budget by `divisor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor == 0`.
+    pub fn new(divisor: u64) -> Self {
+        assert!(divisor > 0, "scale divisor must be positive");
+        Scale { divisor }
+    }
+
+    /// Applies the scale to a budget.
+    pub fn apply(&self, budget: Budget) -> Budget {
+        budget.scale_div(self.divisor)
+    }
+
+    /// `vax_seconds(seconds)` scaled.
+    pub fn vax_seconds(&self, seconds: f64) -> Budget {
+        self.apply(vax_seconds(seconds))
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale::FULL
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_budgets() {
+        assert_eq!(vax_seconds(6.0), Budget::evaluations(1_500));
+        assert_eq!(vax_seconds(9.0), Budget::evaluations(2_250));
+        assert_eq!(vax_seconds(12.0), Budget::evaluations(3_000));
+        assert_eq!(vax_seconds(180.0), Budget::evaluations(45_000));
+    }
+
+    #[test]
+    fn scale_divides() {
+        let s = Scale::new(10);
+        assert_eq!(s.vax_seconds(6.0), Budget::evaluations(150));
+        assert_eq!(Scale::FULL.vax_seconds(6.0), Budget::evaluations(1_500));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_divisor_panics() {
+        let _ = Scale::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn negative_seconds_panic() {
+        let _ = vax_seconds(-1.0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Shared configuration for the experiment suite.
+
+use crate::budgetmap::Scale;
+use crate::instances::DEFAULT_SEED;
+use crate::roster::TunedY;
+
+/// Configuration shared by every table runner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SuiteConfig {
+    /// Base seed: determines instance sets, starting arrangements and chain
+    /// randomness.
+    pub seed: u64,
+    /// Budget scale (divide paper budgets for faster approximate runs).
+    pub scale: Scale,
+    /// Tuned temperatures for the g classes.
+    pub tuned: TunedY,
+}
+
+impl SuiteConfig {
+    /// Paper-faithful configuration at the default seed.
+    pub fn paper() -> Self {
+        SuiteConfig {
+            seed: DEFAULT_SEED,
+            scale: Scale::FULL,
+            tuned: TunedY::gola_defaults(),
+        }
+    }
+
+    /// A configuration with budgets divided by `divisor` — the table shapes
+    /// survive moderate scaling (the paper's 6/9/12-second ratios are
+    /// preserved).
+    pub fn scaled(divisor: u64) -> Self {
+        SuiteConfig {
+            scale: Scale::new(divisor),
+            ..Self::paper()
+        }
+    }
+
+    /// Same configuration at another seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_is_full_scale() {
+        let c = SuiteConfig::paper();
+        assert_eq!(c.scale, Scale::FULL);
+        assert_eq!(c.seed, DEFAULT_SEED);
+    }
+
+    #[test]
+    fn scaled_divides() {
+        let c = SuiteConfig::scaled(10);
+        assert_eq!(c.scale.divisor, 10);
+        assert_eq!(c.with_seed(4).seed, 4);
+    }
+}

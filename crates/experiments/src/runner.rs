@@ -1,0 +1,245 @@
+//! Shared machinery for the arrangement tables: an instance set with fixed
+//! per-instance starting states, run under any method × strategy × budget.
+
+use anneal_core::{
+    derive_seed, Budget, Figure1, Figure2, Rejectionless, Strategy, DEFAULT_EQUILIBRIUM,
+};
+use anneal_linarr::{goto_arrangement, ArrangedState, LinearArrangementProblem};
+use rand::{rngs::StdRng, SeedableRng};
+
+use crate::roster::{MethodCtx, MethodSpec};
+
+/// Seed-stream salt separating start generation from chain randomness.
+const RUN_SALT: u64 = 0x52554E;
+
+/// An instance set with one fixed starting state per instance, so every
+/// method sees identical starts ("Each g class used the same initial
+/// arrangement", §4.2.1).
+#[derive(Debug)]
+pub struct ArrangementSet {
+    problems: Vec<LinearArrangementProblem>,
+    starts: Vec<ArrangedState>,
+    seed: u64,
+    /// Equilibrium counter limit `n` for both strategies.
+    pub equilibrium: u64,
+}
+
+impl ArrangementSet {
+    /// Fixed random starting arrangements, derived from `seed` (Table 4.1,
+    /// 4.2(b), 4.2(c) protocol).
+    pub fn with_random_starts(problems: Vec<LinearArrangementProblem>, seed: u64) -> Self {
+        use anneal_core::Problem;
+        let starts = problems
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let mut rng = StdRng::seed_from_u64(derive_seed(seed, i as u64));
+                p.random_state(&mut rng)
+            })
+            .collect();
+        ArrangementSet {
+            problems,
+            starts,
+            seed,
+            equilibrium: DEFAULT_EQUILIBRIUM,
+        }
+    }
+
+    /// Goto arrangements as starting states (Table 4.2(a)/(d) protocol).
+    pub fn with_goto_starts(problems: Vec<LinearArrangementProblem>, seed: u64) -> Self {
+        let starts = problems
+            .iter()
+            .map(|p| p.state_from(goto_arrangement(p.netlist())))
+            .collect();
+        ArrangementSet {
+            problems,
+            starts,
+            seed,
+            equilibrium: DEFAULT_EQUILIBRIUM,
+        }
+    }
+
+    /// The instances.
+    pub fn problems(&self) -> &[LinearArrangementProblem] {
+        &self.problems
+    }
+
+    /// The per-instance starting states.
+    pub fn starts(&self) -> &[ArrangedState] {
+        &self.starts
+    }
+
+    /// Sum of starting densities (the paper reports 2594 for its GOLA set
+    /// and 4254 for its NOLA set).
+    pub fn start_density_sum(&self) -> f64 {
+        self.starts.iter().map(|s| s.density() as f64).sum()
+    }
+
+    /// Total reduction the Goto construction achieves relative to this set's
+    /// starting states (the "Goto" row of Tables 4.1 and 4.2(c)).
+    pub fn goto_reduction(&self) -> f64 {
+        self.problems
+            .iter()
+            .zip(&self.starts)
+            .map(|(p, start)| {
+                let goto = p.state_from(goto_arrangement(p.netlist()));
+                start.density() as f64 - goto.density() as f64
+            })
+            .sum()
+    }
+
+    /// Runs `spec` on every instance under `strategy` with per-instance
+    /// `budget`, returning the total cost reduction over the set — the cell
+    /// value in the paper's tables.
+    pub fn run_method(&self, spec: &MethodSpec, strategy: Strategy, budget: Budget) -> f64 {
+        (0..self.problems.len())
+            .map(|idx| self.run_instance(idx, spec, strategy, budget))
+            .sum()
+    }
+
+    /// [`run_method`](Self::run_method) with instances fanned out over
+    /// `threads` OS threads. Results are bitwise identical to the sequential
+    /// version (each instance's chain is independently seeded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn run_method_parallel(
+        &self,
+        spec: &MethodSpec,
+        strategy: Strategy,
+        budget: Budget,
+        threads: usize,
+    ) -> f64 {
+        assert!(threads > 0, "need at least one thread");
+        let n = self.problems.len();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        // Per-instance results are written into fixed slots and summed in
+        // index order afterwards, so the floating-point total is identical
+        // to the sequential version regardless of thread interleaving.
+        let results = std::sync::Mutex::new(vec![0.0f64; n]);
+        std::thread::scope(|scope| {
+            for _ in 0..threads.min(n.max(1)) {
+                let next = &next;
+                let results = &results;
+                scope.spawn(move || loop {
+                    let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if idx >= n {
+                        break;
+                    }
+                    let r = self.run_instance(idx, spec, strategy, budget);
+                    results.lock().expect("no poisoned workers")[idx] = r;
+                });
+            }
+        });
+        results
+            .into_inner()
+            .expect("no poisoned workers")
+            .iter()
+            .sum()
+    }
+
+    fn run_instance(
+        &self,
+        idx: usize,
+        spec: &MethodSpec,
+        strategy: Strategy,
+        budget: Budget,
+    ) -> f64 {
+        let problem = &self.problems[idx];
+        let start = &self.starts[idx];
+        let ctx = MethodCtx {
+            n_nets: problem.netlist().n_nets(),
+        };
+        let mut g = spec.g(&ctx);
+        let mut rng = StdRng::seed_from_u64(derive_seed(self.seed ^ RUN_SALT, idx as u64));
+        let result = match strategy {
+            Strategy::Figure1 => Figure1::with_equilibrium(self.equilibrium).run(
+                problem,
+                &mut g,
+                start.clone(),
+                budget,
+                &mut rng,
+            ),
+            Strategy::Figure2 => Figure2::with_equilibrium(self.equilibrium).run(
+                problem,
+                &mut g,
+                start.clone(),
+                budget,
+                &mut rng,
+            ),
+            Strategy::Rejectionless => {
+                Rejectionless::default().run(problem, &mut g, start.clone(), budget, &mut rng)
+            }
+        };
+        result.reduction()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instances::gola_paper_set;
+    use crate::roster::{full_roster, TunedY};
+
+    fn tiny_set() -> ArrangementSet {
+        let problems = gola_paper_set(3).into_iter().take(4).collect();
+        ArrangementSet::with_random_starts(problems, 3)
+    }
+
+    #[test]
+    fn starts_are_stable_across_constructions() {
+        let a = tiny_set();
+        let b = tiny_set();
+        assert_eq!(a.starts()[0], b.starts()[0]);
+        assert_eq!(a.start_density_sum(), b.start_density_sum());
+    }
+
+    #[test]
+    fn goto_reduction_is_positive_on_random_starts() {
+        let set = tiny_set();
+        assert!(set.goto_reduction() > 0.0);
+    }
+
+    #[test]
+    fn goto_starts_have_lower_density() {
+        let problems = gola_paper_set(3).into_iter().take(4).collect();
+        let random = tiny_set();
+        let goto = ArrangementSet::with_goto_starts(problems, 3);
+        assert!(goto.start_density_sum() < random.start_density_sum());
+    }
+
+    #[test]
+    fn run_method_is_deterministic_and_nonnegative() {
+        let set = tiny_set();
+        let roster = full_roster(TunedY::default());
+        let spec = &roster[3]; // g = 1
+        let budget = Budget::evaluations(2_000);
+        let a = set.run_method(spec, Strategy::Figure1, budget);
+        let b = set.run_method(spec, Strategy::Figure1, budget);
+        assert_eq!(a, b);
+        assert!(a >= 0.0, "best never exceeds initial");
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential_exactly() {
+        let set = tiny_set();
+        let roster = full_roster(TunedY::default());
+        let budget = Budget::evaluations(1_000);
+        for spec in roster.iter().take(4) {
+            let seq = set.run_method(spec, Strategy::Figure1, budget);
+            for threads in [1, 2, 3, 8] {
+                let par = set.run_method_parallel(spec, Strategy::Figure1, budget, threads);
+                assert_eq!(seq, par, "{} with {threads} threads", spec.name());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let set = tiny_set();
+        let roster = full_roster(TunedY::default());
+        let _ = set.run_method_parallel(&roster[0], Strategy::Figure1, Budget::evaluations(10), 0);
+    }
+}

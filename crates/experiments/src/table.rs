@@ -1,0 +1,182 @@
+//! Plain-text table rendering in the paper's style, plus CSV export.
+
+use std::fmt;
+
+/// A rendered experiment table: row labels (methods), column labels
+/// (budgets or strategies), and numeric cells.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Table title (e.g. "Table 4.1 — 30 instances, 15 elements, 150 nets").
+    pub title: String,
+    /// Header of the label column.
+    pub row_header: String,
+    /// Column labels.
+    pub columns: Vec<String>,
+    /// One row per method: label plus one value per column.
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(
+        title: impl Into<String>,
+        row_header: impl Into<String>,
+        columns: Vec<String>,
+    ) -> Self {
+        Table {
+            title: title.into(),
+            row_header: row_header.into(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of values differs from the number of columns.
+    pub fn push_row(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(
+            values.len(),
+            self.columns.len(),
+            "row has {} values for {} columns",
+            values.len(),
+            self.columns.len()
+        );
+        self.rows.push((label.into(), values));
+    }
+
+    /// The value at (`row_label`, `column_label`), if present.
+    pub fn value(&self, row_label: &str, column_label: &str) -> Option<f64> {
+        let col = self.columns.iter().position(|c| c == column_label)?;
+        let (_, values) = self.rows.iter().find(|(l, _)| l == row_label)?;
+        values.get(col).copied()
+    }
+
+    /// The row with the largest value in `column_label`.
+    pub fn best_in_column(&self, column_label: &str) -> Option<(&str, f64)> {
+        let col = self.columns.iter().position(|c| c == column_label)?;
+        self.rows
+            .iter()
+            .map(|(l, v)| (l.as_str(), v[col]))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite cells"))
+    }
+
+    /// CSV rendering (header row, then one line per method).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.row_header);
+        for c in &self.columns {
+            out.push(',');
+            out.push_str(c);
+        }
+        out.push('\n');
+        for (label, values) in &self.rows {
+            out.push_str(&format!("\"{label}\""));
+            for v in values {
+                out.push_str(&format!(",{v}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let label_width = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain([self.row_header.len()])
+            .max()
+            .unwrap_or(0);
+        let col_width = self
+            .columns
+            .iter()
+            .map(String::len)
+            .max()
+            .unwrap_or(0)
+            .max(8);
+
+        writeln!(f, "{}", self.title)?;
+        write!(f, "{:<label_width$}", self.row_header)?;
+        for c in &self.columns {
+            write!(f, "  {c:>col_width$}")?;
+        }
+        writeln!(f)?;
+        writeln!(
+            f,
+            "{}",
+            "-".repeat(label_width + (col_width + 2) * self.columns.len())
+        )?;
+        for (label, values) in &self.rows {
+            write!(f, "{label:<label_width$}")?;
+            for v in values {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    write!(f, "  {:>col_width$}", *v as i64)?;
+                } else {
+                    write!(f, "  {v:>col_width$.3}")?;
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(
+            "Table X",
+            "g function",
+            vec!["6 sec".into(), "9 sec".into()],
+        );
+        t.push_row("g = 1", vec![598.0, 605.0]);
+        t.push_row("Metropolis", vec![533.0, 558.0]);
+        t
+    }
+
+    #[test]
+    fn lookup_by_labels() {
+        let t = sample();
+        assert_eq!(t.value("g = 1", "9 sec"), Some(605.0));
+        assert_eq!(t.value("nope", "9 sec"), None);
+        assert_eq!(t.value("g = 1", "15 sec"), None);
+    }
+
+    #[test]
+    fn best_in_column() {
+        let t = sample();
+        assert_eq!(t.best_in_column("6 sec"), Some(("g = 1", 598.0)));
+    }
+
+    #[test]
+    fn display_contains_everything() {
+        let s = sample().to_string();
+        assert!(s.contains("Table X"));
+        assert!(s.contains("g = 1"));
+        assert!(s.contains("598"));
+        assert!(s.contains("6 sec"));
+    }
+
+    #[test]
+    fn csv_round_shape() {
+        let csv = sample().to_csv();
+        let lines: Vec<_> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "g function,6 sec,9 sec");
+        assert!(lines[1].starts_with("\"g = 1\","));
+    }
+
+    #[test]
+    #[should_panic(expected = "2 columns")]
+    fn wrong_arity_panics() {
+        let mut t = sample();
+        t.push_row("bad", vec![1.0]);
+    }
+}

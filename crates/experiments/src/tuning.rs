@@ -1,0 +1,187 @@
+//! The §4.2.1 temperature-tuning experiment: for each g class that uses
+//! temperatures, sweep a candidate grid on the 30-instance GOLA training set
+//! under the Figure-1 strategy, and keep the best `Y₁`.
+//!
+//! The paper allots 5 seconds per instance, `⌈5/k⌉` per temperature.
+
+use anneal_core::{GFunction, Tuner};
+
+use crate::config::SuiteConfig;
+use crate::instances::gola_paper_set;
+use crate::roster::TunedY;
+use crate::table::Table;
+
+/// Seconds per instance in the paper's tuning runs.
+pub const TUNING_SECONDS: f64 = 5.0;
+
+/// Multiplicative grid swept around each class's default `Y₁`.
+pub const GRID: [f64; 7] = [0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0];
+
+/// Outcome of the tuning sweep: the winning temperatures and the per-class
+/// sweep table.
+#[derive(Debug, Clone)]
+pub struct TuningOutcome {
+    /// Best `Y₁` per class, ready for [`full_roster`](crate::full_roster).
+    pub tuned: TunedY,
+    /// Rows: g classes; columns: total reduction per grid multiplier.
+    pub table: Table,
+}
+
+/// Runs the tuning sweep.
+pub fn run(config: &SuiteConfig) -> TuningOutcome {
+    let problems = gola_paper_set(config.seed);
+    let budget = config.scale.vax_seconds(TUNING_SECONDS);
+    let tuner = Tuner::new(&problems, budget, config.seed);
+
+    let base = config.tuned;
+    let mut tuned = base;
+    let mut table = Table::new(
+        "Tuning (§4.2.1) — total reduction per Y₁ multiplier, GOLA training set",
+        "g function",
+        GRID.iter().map(|m| format!("×{m}")).collect(),
+    );
+
+    // Each entry: (name, base Y₁, factory, setter writing the winner back).
+    type Setter = fn(&mut TunedY, f64);
+    type Factory = fn(f64) -> GFunction;
+    let classes: Vec<(&str, f64, Factory, Setter)> = vec![
+        (
+            "Metropolis",
+            base.metropolis,
+            GFunction::metropolis,
+            |t, y| t.metropolis = y,
+        ),
+        (
+            "Six Temperature Annealing",
+            base.annealing6,
+            GFunction::six_temp_annealing,
+            |t, y| t.annealing6 = y,
+        ),
+        (
+            "Linear",
+            base.poly_current[0],
+            |y| GFunction::poly_current(1, y),
+            |t, y| t.poly_current[0] = y,
+        ),
+        (
+            "Quadratic",
+            base.poly_current[1],
+            |y| GFunction::poly_current(2, y),
+            |t, y| t.poly_current[1] = y,
+        ),
+        (
+            "Cubic",
+            base.poly_current[2],
+            |y| GFunction::poly_current(3, y),
+            |t, y| t.poly_current[2] = y,
+        ),
+        (
+            "Exponential",
+            base.exp_current,
+            GFunction::exp_current,
+            |t, y| t.exp_current = y,
+        ),
+        (
+            "6 Linear",
+            base.poly_current6[0],
+            |y| GFunction::poly_current_six(1, y),
+            |t, y| t.poly_current6[0] = y,
+        ),
+        (
+            "6 Quadratic",
+            base.poly_current6[1],
+            |y| GFunction::poly_current_six(2, y),
+            |t, y| t.poly_current6[1] = y,
+        ),
+        (
+            "6 Cubic",
+            base.poly_current6[2],
+            |y| GFunction::poly_current_six(3, y),
+            |t, y| t.poly_current6[2] = y,
+        ),
+        (
+            "6 Exponential",
+            base.exp_current6,
+            GFunction::exp_current_six,
+            |t, y| t.exp_current6 = y,
+        ),
+        (
+            "Linear Diff",
+            base.poly_diff[0],
+            |y| GFunction::poly_difference(1, y),
+            |t, y| t.poly_diff[0] = y,
+        ),
+        (
+            "Quadratic Diff",
+            base.poly_diff[1],
+            |y| GFunction::poly_difference(2, y),
+            |t, y| t.poly_diff[1] = y,
+        ),
+        (
+            "Cubic Diff",
+            base.poly_diff[2],
+            |y| GFunction::poly_difference(3, y),
+            |t, y| t.poly_diff[2] = y,
+        ),
+        (
+            "Exponential Diff",
+            base.exp_diff,
+            GFunction::exp_difference,
+            |t, y| t.exp_diff = y,
+        ),
+        (
+            "6 Linear Diff",
+            base.poly_diff6[0],
+            |y| GFunction::poly_difference_six(1, y),
+            |t, y| t.poly_diff6[0] = y,
+        ),
+        (
+            "6 Quadratic Diff",
+            base.poly_diff6[1],
+            |y| GFunction::poly_difference_six(2, y),
+            |t, y| t.poly_diff6[1] = y,
+        ),
+        (
+            "6 Cubic Diff",
+            base.poly_diff6[2],
+            |y| GFunction::poly_difference_six(3, y),
+            |t, y| t.poly_diff6[2] = y,
+        ),
+        (
+            "6 Exponential Diff",
+            base.exp_diff6,
+            GFunction::exp_difference_six,
+            |t, y| t.exp_diff6 = y,
+        ),
+    ];
+
+    for (name, base_y, factory, setter) in classes {
+        let candidates: Vec<f64> = GRID.iter().map(|m| base_y * m).collect();
+        let report = tuner.tune(factory, &candidates);
+        table.push_row(
+            name,
+            report.outcomes.iter().map(|o| o.total_reduction).collect(),
+        );
+        setter(&mut tuned, report.best.value);
+    }
+
+    TuningOutcome { tuned, table }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweeps_all_18_temperature_classes() {
+        // g = 1 and two-level need no tuning: 20 - 2 = 18 rows.
+        let out = run(&SuiteConfig::scaled(2));
+        assert_eq!(out.table.rows.len(), 18);
+        assert_eq!(out.table.columns.len(), GRID.len());
+        // Winners are grid members.
+        let grid_of = |base: f64| GRID.map(|m| base * m);
+        assert!(grid_of(SuiteConfig::paper().tuned.metropolis)
+            .iter()
+            .any(|&c| (c - out.tuned.metropolis).abs() < 1e-12));
+    }
+}

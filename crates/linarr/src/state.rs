@@ -1,0 +1,156 @@
+//! The mutable search state: an arrangement plus its incrementally
+//! maintained [`CutProfile`].
+
+use anneal_netlist::Netlist;
+
+use crate::arrangement::Arrangement;
+use crate::density::CutProfile;
+
+/// An arrangement bundled with its cut profile, so that both objectives
+/// (density and total span) read in O(1) and perturbations update
+/// incrementally.
+///
+/// `ArrangedState` deliberately does not borrow the netlist (the
+/// [`Problem`](anneal_core::Problem) owner holds it); every mutating method
+/// takes it as an argument, and it must be the netlist the state was built
+/// with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrangedState {
+    arrangement: Arrangement,
+    profile: CutProfile,
+}
+
+impl ArrangedState {
+    /// Builds the state for `arrangement` under `netlist`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if sizes disagree.
+    pub fn new(netlist: &Netlist, arrangement: Arrangement) -> Self {
+        let profile = CutProfile::build(netlist, &arrangement);
+        ArrangedState {
+            arrangement,
+            profile,
+        }
+    }
+
+    /// The current arrangement.
+    pub fn arrangement(&self) -> &Arrangement {
+        &self.arrangement
+    }
+
+    /// The current density.
+    pub fn density(&self) -> u32 {
+        self.profile.density()
+    }
+
+    /// The current total span (wirelength).
+    pub fn total_span(&self) -> u64 {
+        self.profile.total_span()
+    }
+
+    /// The cut profile.
+    pub fn profile(&self) -> &CutProfile {
+        &self.profile
+    }
+
+    /// Swaps the elements at positions `p` and `q`, updating the profile.
+    pub fn swap(&mut self, netlist: &Netlist, p: usize, q: usize) {
+        if p == q {
+            return;
+        }
+        let a = self.arrangement.element_at(p);
+        let b = self.arrangement.element_at(q);
+        self.arrangement.swap_positions(p, q);
+        let nets = merged_nets(netlist, &[a, b]);
+        self.profile
+            .update_nets(netlist, &self.arrangement, nets.iter().copied());
+    }
+
+    /// Moves the element at position `from` to position `to` (shifting the
+    /// elements in between), updating the profile.
+    pub fn relocate(&mut self, netlist: &Netlist, from: usize, to: usize) {
+        if from == to {
+            return;
+        }
+        // Every element in the shifted window changes position.
+        let (lo, hi) = if from < to { (from, to) } else { (to, from) };
+        let moved: Vec<u32> = (lo..=hi).map(|p| self.arrangement.element_at(p)).collect();
+        self.arrangement.relocate(from, to);
+        let nets = merged_nets(netlist, &moved);
+        self.profile
+            .update_nets(netlist, &self.arrangement, nets.iter().copied());
+    }
+
+    /// Verifies the profile against a rebuild (test support).
+    pub fn verify(&self, netlist: &Netlist) -> bool {
+        self.profile.verify(netlist, &self.arrangement)
+    }
+}
+
+/// Sorted, deduplicated union of the nets incident to `elements`.
+fn merged_nets(netlist: &Netlist, elements: &[u32]) -> Vec<u32> {
+    let mut nets: Vec<u32> = elements
+        .iter()
+        .flat_map(|&e| netlist.nets_of(e as usize).iter().copied())
+        .collect();
+    nets.sort_unstable();
+    nets.dedup();
+    nets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anneal_netlist::generator::{random_multi_pin, random_two_pin};
+    use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+    #[test]
+    fn swap_updates_incrementally() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let nl = random_two_pin(15, 150, &mut rng);
+        let mut s = ArrangedState::new(&nl, Arrangement::random(15, &mut rng));
+        for _ in 0..200 {
+            let p = rng.random_range(0..15);
+            let q = rng.random_range(0..15);
+            s.swap(&nl, p, q);
+        }
+        assert!(s.verify(&nl));
+    }
+
+    #[test]
+    fn relocate_updates_incrementally() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let nl = random_multi_pin(15, 150, 2, 5, &mut rng);
+        let mut s = ArrangedState::new(&nl, Arrangement::random(15, &mut rng));
+        for _ in 0..200 {
+            let from = rng.random_range(0..15);
+            let to = rng.random_range(0..15);
+            s.relocate(&nl, from, to);
+        }
+        assert!(s.verify(&nl));
+    }
+
+    #[test]
+    fn swap_is_involutive_on_state() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let nl = random_two_pin(10, 40, &mut rng);
+        let mut s = ArrangedState::new(&nl, Arrangement::random(10, &mut rng));
+        let before = s.clone();
+        s.swap(&nl, 2, 7);
+        assert_ne!(s.arrangement(), before.arrangement());
+        s.swap(&nl, 2, 7);
+        assert_eq!(s, before);
+    }
+
+    #[test]
+    fn noop_moves_do_nothing() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let nl = random_two_pin(8, 20, &mut rng);
+        let mut s = ArrangedState::new(&nl, Arrangement::random(8, &mut rng));
+        let before = s.clone();
+        s.swap(&nl, 3, 3);
+        s.relocate(&nl, 5, 5);
+        assert_eq!(s, before);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests: the incremental density evaluator is the crate's
+//! load-bearing component, so it is checked against full recomputation under
+//! arbitrary move sequences.
+
+use anneal_core::Problem;
+use anneal_linarr::{
+    goto_arrangement, ArrangedState, Arrangement, LinearArrangementProblem, Neighborhood,
+};
+use anneal_netlist::{generator, Netlist};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// An arbitrary netlist plus a seed for the starting arrangement.
+fn arb_instance() -> impl Strategy<Value = (Netlist, u64)> {
+    (2usize..16, 1usize..60, any::<u64>(), any::<bool>()).prop_map(|(n, m, seed, multi)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let nl = if multi && n >= 4 {
+            generator::random_multi_pin(n, m, 2, 4.min(n), &mut rng)
+        } else {
+            generator::random_two_pin(n, m, &mut rng)
+        };
+        (nl, seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn incremental_density_matches_rebuild_under_swaps(
+        (nl, seed) in arb_instance(),
+        moves in proptest::collection::vec((0usize..16, 0usize..16), 1..60),
+    ) {
+        let n = nl.n_elements();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = ArrangedState::new(&nl, Arrangement::random(n, &mut rng));
+        for (p, q) in moves {
+            s.swap(&nl, p % n, q % n);
+            prop_assert!(s.verify(&nl));
+        }
+    }
+
+    #[test]
+    fn incremental_density_matches_rebuild_under_relocates(
+        (nl, seed) in arb_instance(),
+        moves in proptest::collection::vec((0usize..16, 0usize..16), 1..60),
+    ) {
+        let n = nl.n_elements();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = ArrangedState::new(&nl, Arrangement::random(n, &mut rng));
+        for (f, t) in moves {
+            s.relocate(&nl, f % n, t % n);
+            prop_assert!(s.verify(&nl));
+        }
+    }
+
+    #[test]
+    fn undo_inverts_apply((nl, seed) in arb_instance(), n_moves in 1usize..40) {
+        for neighborhood in [Neighborhood::PairwiseInterchange, Neighborhood::SingleExchange] {
+            let p = LinearArrangementProblem::new(nl.clone()).with_neighborhood(neighborhood);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut s = p.random_state(&mut rng);
+            let before = s.clone();
+            let mut applied = Vec::new();
+            for _ in 0..n_moves {
+                let mv = p.propose(&s, &mut rng);
+                p.apply(&mut s, &mv);
+                applied.push(mv);
+            }
+            for mv in applied.iter().rev() {
+                p.undo(&mut s, mv);
+            }
+            prop_assert_eq!(&s, &before);
+        }
+    }
+
+    #[test]
+    fn density_bounds((nl, seed) in arb_instance()) {
+        let n = nl.n_elements();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = ArrangedState::new(&nl, Arrangement::random(n, &mut rng));
+        prop_assert!(s.density() as usize <= nl.n_nets());
+        if nl.n_nets() > 0 && n >= 2 {
+            prop_assert!(s.density() >= 1, "any net crosses at least one gap");
+        }
+        // Total span is at least one per net and at most (n-1) per net.
+        prop_assert!(s.total_span() >= nl.n_nets() as u64);
+        prop_assert!(s.total_span() <= (nl.n_nets() * (n - 1)) as u64);
+    }
+
+    #[test]
+    fn goto_is_a_permutation((nl, _) in arb_instance()) {
+        let arr = goto_arrangement(&nl);
+        let mut order = arr.order().to_vec();
+        order.sort_unstable();
+        prop_assert_eq!(order, (0..nl.n_elements() as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn local_optimum_has_no_improving_swap((nl, seed) in arb_instance()) {
+        let p = LinearArrangementProblem::new(nl.clone());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = p.random_state(&mut rng);
+        let mut probes = 0u64;
+        // Descend fully (bounded by a generous iteration cap).
+        for _ in 0..10_000 {
+            match p.improving_move(&s, &mut probes) {
+                Some(mv) => p.apply(&mut s, &mv),
+                None => break,
+            }
+        }
+        // At the fixed point, exhaustive search agrees there is no
+        // improving pairwise interchange.
+        let n = nl.n_elements();
+        let here = p.cost(&s);
+        let mut scratch = s.clone();
+        for a in 0..n {
+            for b in a + 1..n {
+                scratch.swap(&nl, a, b);
+                prop_assert!(p.cost(&scratch) >= here);
+                scratch.swap(&nl, a, b);
+            }
+        }
+    }
+}

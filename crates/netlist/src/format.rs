@@ -1,0 +1,202 @@
+//! A plain-text netlist interchange format.
+//!
+//! ```text
+//! netlist 15        # header: element count
+//! net 0 3           # one line per net: the connected element indices
+//! net 1 2 7
+//! # comments and blank lines are ignored
+//! ```
+
+use std::fmt;
+
+use crate::model::{BuildNetlistError, Netlist};
+
+/// Errors raised while parsing the text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseNetlistError {
+    /// The first non-comment line is not `netlist <n>`.
+    MissingHeader,
+    /// A line does not start with `net`.
+    UnknownDirective {
+        /// 1-based line number.
+        line: usize,
+        /// The offending first token.
+        token: String,
+    },
+    /// A pin token is not a valid integer.
+    BadPin {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// The netlist parsed but failed structural validation.
+    Invalid(BuildNetlistError),
+}
+
+impl fmt::Display for ParseNetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseNetlistError::MissingHeader => {
+                write!(f, "expected header line `netlist <n_elements>`")
+            }
+            ParseNetlistError::UnknownDirective { line, token } => {
+                write!(f, "line {line}: unknown directive `{token}`")
+            }
+            ParseNetlistError::BadPin { line, token } => {
+                write!(f, "line {line}: `{token}` is not a valid element index")
+            }
+            ParseNetlistError::Invalid(e) => write!(f, "invalid netlist: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseNetlistError {}
+
+impl From<BuildNetlistError> for ParseNetlistError {
+    fn from(e: BuildNetlistError) -> Self {
+        ParseNetlistError::Invalid(e)
+    }
+}
+
+/// Parses the text format.
+///
+/// # Errors
+///
+/// Returns a [`ParseNetlistError`] on malformed syntax or an invalid netlist.
+///
+/// # Examples
+///
+/// ```
+/// use anneal_netlist::format::{parse, render};
+///
+/// let text = "netlist 3\nnet 0 1\nnet 1 2\n";
+/// let nl = parse(text)?;
+/// assert_eq!(nl.n_nets(), 2);
+/// assert_eq!(render(&nl), text);
+/// # Ok::<(), anneal_netlist::format::ParseNetlistError>(())
+/// ```
+pub fn parse(text: &str) -> Result<Netlist, ParseNetlistError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.split('#').next().unwrap_or("").trim()))
+        .filter(|(_, l)| !l.is_empty());
+
+    let n_elements = match lines.next() {
+        Some((_, header)) => {
+            let mut parts = header.split_whitespace();
+            match (parts.next(), parts.next(), parts.next()) {
+                (Some("netlist"), Some(n), None) => n
+                    .parse::<usize>()
+                    .map_err(|_| ParseNetlistError::MissingHeader)?,
+                _ => return Err(ParseNetlistError::MissingHeader),
+            }
+        }
+        None => return Err(ParseNetlistError::MissingHeader),
+    };
+
+    let mut builder = Netlist::builder(n_elements);
+    for (line_no, line) in lines {
+        let mut parts = line.split_whitespace();
+        let directive = parts.next().expect("line is non-empty");
+        if directive != "net" {
+            return Err(ParseNetlistError::UnknownDirective {
+                line: line_no,
+                token: directive.to_string(),
+            });
+        }
+        let mut pins = Vec::new();
+        for tok in parts {
+            let pin: u32 = tok.parse().map_err(|_| ParseNetlistError::BadPin {
+                line: line_no,
+                token: tok.to_string(),
+            })?;
+            pins.push(pin);
+        }
+        builder = builder.net(pins);
+    }
+    Ok(builder.build()?)
+}
+
+/// Renders a netlist in the text format (round-trips through [`parse`]).
+pub fn render(netlist: &Netlist) -> String {
+    let mut out = format!("netlist {}\n", netlist.n_elements());
+    for net in netlist.nets() {
+        out.push_str("net");
+        for pin in net {
+            out.push(' ');
+            out.push_str(&pin.to_string());
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::random_two_pin;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn parses_with_comments_and_blanks() {
+        let text = "# a triangle\nnetlist 3\n\nnet 0 1  # first\nnet 1 2\nnet 0 2\n";
+        let nl = parse(text).unwrap();
+        assert_eq!(nl.n_nets(), 3);
+        assert!(nl.is_two_pin());
+    }
+
+    #[test]
+    fn round_trip() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let nl = random_two_pin(15, 150, &mut rng);
+        let text = render(&nl);
+        let back = parse(&text).unwrap();
+        assert_eq!(nl, back);
+    }
+
+    #[test]
+    fn missing_header() {
+        assert_eq!(
+            parse("net 0 1\n").unwrap_err(),
+            ParseNetlistError::MissingHeader
+        );
+        assert_eq!(parse("").unwrap_err(), ParseNetlistError::MissingHeader);
+        assert_eq!(
+            parse("netlist three\n").unwrap_err(),
+            ParseNetlistError::MissingHeader
+        );
+    }
+
+    #[test]
+    fn unknown_directive() {
+        let err = parse("netlist 3\nedge 0 1\n").unwrap_err();
+        assert_eq!(
+            err,
+            ParseNetlistError::UnknownDirective {
+                line: 2,
+                token: "edge".into()
+            }
+        );
+    }
+
+    #[test]
+    fn bad_pin() {
+        let err = parse("netlist 3\nnet 0 x\n").unwrap_err();
+        assert_eq!(
+            err,
+            ParseNetlistError::BadPin {
+                line: 2,
+                token: "x".into()
+            }
+        );
+    }
+
+    #[test]
+    fn invalid_netlist_propagates() {
+        let err = parse("netlist 3\nnet 0 9\n").unwrap_err();
+        assert!(matches!(err, ParseNetlistError::Invalid(_)));
+        assert!(err.to_string().contains("invalid netlist"));
+    }
+}

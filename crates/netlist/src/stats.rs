@@ -1,0 +1,102 @@
+//! Summary statistics over a netlist, useful when characterizing generated
+//! instance sets.
+
+use crate::model::Netlist;
+
+/// Aggregate statistics of a netlist.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct NetlistStats {
+    /// Number of elements.
+    pub n_elements: usize,
+    /// Number of nets.
+    pub n_nets: usize,
+    /// Total pins over all nets.
+    pub total_pins: usize,
+    /// Minimum element degree (net count).
+    pub min_degree: usize,
+    /// Maximum element degree.
+    pub max_degree: usize,
+    /// Mean element degree.
+    pub mean_degree: f64,
+    /// Minimum net size (pin count).
+    pub min_net_size: usize,
+    /// Maximum net size.
+    pub max_net_size: usize,
+    /// Mean net size.
+    pub mean_net_size: f64,
+}
+
+impl NetlistStats {
+    /// Computes statistics for `netlist`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use anneal_netlist::{Netlist, NetlistStats};
+    ///
+    /// let nl = Netlist::builder(3).net([0, 1]).net([0, 1, 2]).build()?;
+    /// let s = NetlistStats::of(&nl);
+    /// assert_eq!(s.max_net_size, 3);
+    /// assert_eq!(s.total_pins, 5);
+    /// # Ok::<(), anneal_netlist::BuildNetlistError>(())
+    /// ```
+    pub fn of(netlist: &Netlist) -> Self {
+        let degrees: Vec<usize> = (0..netlist.n_elements())
+            .map(|e| netlist.degree(e))
+            .collect();
+        let sizes: Vec<usize> = netlist.nets().map(<[u32]>::len).collect();
+        let total_pins = netlist.total_pins();
+        NetlistStats {
+            n_elements: netlist.n_elements(),
+            n_nets: netlist.n_nets(),
+            total_pins,
+            min_degree: degrees.iter().copied().min().unwrap_or(0),
+            max_degree: degrees.iter().copied().max().unwrap_or(0),
+            mean_degree: if degrees.is_empty() {
+                0.0
+            } else {
+                total_pins as f64 / degrees.len() as f64
+            },
+            min_net_size: sizes.iter().copied().min().unwrap_or(0),
+            max_net_size: sizes.iter().copied().max().unwrap_or(0),
+            mean_net_size: if sizes.is_empty() {
+                0.0
+            } else {
+                total_pins as f64 / sizes.len() as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::random_two_pin;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn stats_of_paper_instance() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let nl = random_two_pin(15, 150, &mut rng);
+        let s = NetlistStats::of(&nl);
+        assert_eq!(s.n_elements, 15);
+        assert_eq!(s.n_nets, 150);
+        assert_eq!(s.total_pins, 300);
+        assert_eq!(s.min_net_size, 2);
+        assert_eq!(s.max_net_size, 2);
+        assert!((s.mean_net_size - 2.0).abs() < 1e-12);
+        assert!((s.mean_degree - 20.0).abs() < 1e-12);
+        assert!(s.min_degree <= 20 && s.max_degree >= 20);
+    }
+
+    #[test]
+    fn stats_of_netlist_without_nets() {
+        let nl = Netlist::builder(4).build().unwrap();
+        let s = NetlistStats::of(&nl);
+        assert_eq!(s.n_nets, 0);
+        assert_eq!(s.total_pins, 0);
+        assert_eq!(s.mean_net_size, 0.0);
+        assert_eq!(s.max_degree, 0);
+    }
+}

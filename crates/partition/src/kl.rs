@@ -1,0 +1,224 @@
+//! The Kernighan–Lin bipartitioning heuristic — the classical deterministic
+//! baseline against which annealing was originally measured on circuit
+//! partitioning ([KIRK83] §1 of the paper; the comparison itself appears in
+//! the [NAHA84] technical report this paper summarizes).
+//!
+//! KL minimizes the *weighted pairwise cut* with `w(a, b)` = number of nets
+//! joining `a` and `b`. On two-pin netlists this equals the net cut exactly;
+//! on multi-pin netlists it is the standard clique-model approximation (the
+//! returned cut is always the true net cut of the final partition).
+
+use anneal_netlist::Netlist;
+
+use crate::state::PartitionState;
+
+/// Result of a Kernighan–Lin run.
+#[derive(Debug, Clone)]
+pub struct KlOutcome {
+    /// The final partition.
+    pub state: PartitionState,
+    /// Improvement passes executed (the last pass finds no positive gain).
+    pub passes: u32,
+    /// Total positive gain applied per pass (weighted-cut units).
+    pub gain_history: Vec<i64>,
+    /// Pair-gain evaluations performed, for rough cost accounting against
+    /// the Monte Carlo methods' evaluation budgets.
+    pub evals: u64,
+}
+
+/// Runs Kernighan–Lin from `initial` until a pass yields no positive gain.
+///
+/// On multi-pin netlists the clique model may disagree with the true net
+/// cut, so the result is guaranteed not to be worse than `initial` in net-cut
+/// terms: if the KL result has a higher net cut, `initial` is returned
+/// unchanged.
+///
+/// # Examples
+///
+/// ```
+/// use anneal_netlist::Netlist;
+/// use anneal_partition::{kernighan_lin, PartitionState};
+///
+/// // A 4-cycle: optimal balanced cut is 2.
+/// let nl = Netlist::builder(4)
+///     .net([0, 1]).net([1, 2]).net([2, 3]).net([0, 3])
+///     .build()?;
+/// let bad_start = PartitionState::new(&nl, vec![0, 1, 0, 1]); // cut 4
+/// let out = kernighan_lin(&nl, bad_start);
+/// assert_eq!(out.state.cut(), 2);
+/// # Ok::<(), anneal_netlist::BuildNetlistError>(())
+/// ```
+pub fn kernighan_lin(netlist: &Netlist, initial: PartitionState) -> KlOutcome {
+    let n = netlist.n_elements();
+    // Dense symmetric weight matrix; instances here are small (tens of
+    // elements), so O(n²) space is the right trade.
+    let mut w = vec![0i64; n * n];
+    for (a, row) in (0..n).map(|a| (a, a * n)) {
+        for b in 0..n {
+            if a != b {
+                w[row + b] = netlist.joint_nets(a, b) as i64;
+            }
+        }
+    }
+    let weight = |a: usize, b: usize| w[a * n + b];
+
+    let mut sides: Vec<u8> = (0..n).map(|e| initial.side_of(e)).collect();
+    let mut passes = 0;
+    let mut gain_history = Vec::new();
+    let mut evals: u64 = 0;
+
+    loop {
+        passes += 1;
+        // D[v] = external - internal connectivity.
+        let mut d = vec![0i64; n];
+        for v in 0..n {
+            for u in 0..n {
+                if u == v {
+                    continue;
+                }
+                if sides[u] == sides[v] {
+                    d[v] -= weight(v, u);
+                } else {
+                    d[v] += weight(v, u);
+                }
+            }
+        }
+
+        let mut a_side: Vec<usize> = (0..n).filter(|&e| sides[e] == 0).collect();
+        let mut b_side: Vec<usize> = (0..n).filter(|&e| sides[e] == 1).collect();
+        let steps = a_side.len().min(b_side.len());
+        let mut chosen: Vec<(usize, usize, i64)> = Vec::with_capacity(steps);
+
+        for _ in 0..steps {
+            let mut best: Option<(i64, usize, usize)> = None;
+            for (ai, &a) in a_side.iter().enumerate() {
+                for (bi, &b) in b_side.iter().enumerate() {
+                    evals += 1;
+                    let g = d[a] + d[b] - 2 * weight(a, b);
+                    if best.is_none_or(|(bg, _, _)| g > bg) {
+                        best = Some((g, ai, bi));
+                    }
+                }
+            }
+            let (g, ai, bi) = best.expect("steps > 0 implies candidates exist");
+            let a = a_side.swap_remove(ai);
+            let b = b_side.swap_remove(bi);
+            chosen.push((a, b, g));
+            // Update D values of unlocked vertices as if a and b swapped.
+            for &v in &a_side {
+                d[v] += 2 * weight(v, a) - 2 * weight(v, b);
+            }
+            for &v in &b_side {
+                d[v] += 2 * weight(v, b) - 2 * weight(v, a);
+            }
+        }
+
+        // Best prefix of the swap sequence.
+        let mut best_k = 0;
+        let mut best_gain = 0i64;
+        let mut acc = 0i64;
+        for (k, &(_, _, g)) in chosen.iter().enumerate() {
+            acc += g;
+            if acc > best_gain {
+                best_gain = acc;
+                best_k = k + 1;
+            }
+        }
+
+        if best_gain <= 0 {
+            gain_history.push(0);
+            break;
+        }
+        gain_history.push(best_gain);
+        for &(a, b, _) in &chosen[..best_k] {
+            sides[a] ^= 1;
+            sides[b] ^= 1;
+        }
+    }
+
+    let state = PartitionState::new(netlist, sides);
+    let state = if state.cut() <= initial.cut() {
+        state
+    } else {
+        initial
+    };
+    KlOutcome {
+        state,
+        passes,
+        gain_history,
+        evals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anneal_netlist::generator::random_two_pin;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn two_cliques() -> Netlist {
+        let mut b = Netlist::builder(8);
+        for base in [0u32, 4] {
+            for i in 0..4 {
+                for j in i + 1..4 {
+                    b = b.net([base + i, base + j]);
+                }
+            }
+        }
+        b.net([3, 4]).build().unwrap()
+    }
+
+    #[test]
+    fn separates_two_cliques_from_worst_start() {
+        let nl = two_cliques();
+        // Interleaved start: every clique edge cut.
+        let start = PartitionState::new(&nl, vec![0, 1, 0, 1, 0, 1, 0, 1]);
+        let out = kernighan_lin(&nl, start);
+        assert_eq!(out.state.cut(), 1, "only the bridge remains cut");
+        assert!(out.passes >= 1);
+        assert!(out.evals > 0);
+        assert!(out.state.verify(&nl));
+    }
+
+    #[test]
+    fn never_worsens_the_cut() {
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let nl = random_two_pin(16, 50, &mut rng);
+            let start = PartitionState::split_first_half(&nl);
+            let start_cut = start.cut();
+            let out = kernighan_lin(&nl, start);
+            assert!(out.state.cut() <= start_cut, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn final_partition_is_locally_optimal_for_kl_gains() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let nl = random_two_pin(12, 40, &mut rng);
+        let out = kernighan_lin(&nl, PartitionState::split_first_half(&nl));
+        // Rerunning from the output makes no further progress.
+        let again = kernighan_lin(&nl, out.state.clone());
+        assert_eq!(again.state.cut(), out.state.cut());
+        assert_eq!(again.passes, 1);
+    }
+
+    #[test]
+    fn preserves_balance() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let nl = random_two_pin(13, 45, &mut rng);
+        let out = kernighan_lin(&nl, PartitionState::split_first_half(&nl));
+        let (a, b) = (out.state.members(0).len(), out.state.members(1).len());
+        assert!(a.abs_diff(b) <= 1, "{a} vs {b}");
+    }
+
+    #[test]
+    fn gain_history_ends_with_zero() {
+        let nl = two_cliques();
+        let out = kernighan_lin(&nl, PartitionState::new(&nl, vec![0, 1, 0, 1, 0, 1, 0, 1]));
+        assert_eq!(*out.gain_history.last().unwrap(), 0);
+        for g in &out.gain_history[..out.gain_history.len() - 1] {
+            assert!(*g > 0);
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Balanced two-way partition state with incremental cut maintenance.
+
+use anneal_netlist::Netlist;
+
+/// A balanced 2-way partition of a netlist's elements, maintaining the net
+/// cut (number of nets with pins on both sides) incrementally.
+///
+/// Balance means the side sizes differ by at most one; the only mutation is
+/// a cross-side swap, which preserves balance exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionState {
+    /// Side (0 or 1) of each element.
+    side: Vec<u8>,
+    /// Members of each side (unordered; positions referenced by moves).
+    members: [Vec<u32>; 2],
+    /// Per net: number of pins on side 1.
+    pins_on_one: Vec<u32>,
+    /// Number of nets with pins on both sides.
+    cut: u32,
+}
+
+impl PartitionState {
+    /// Builds the state for an explicit assignment (`sides[e]` ∈ {0, 1}).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sides` has the wrong length, contains values other than
+    /// 0/1, or is unbalanced (side sizes differing by more than one).
+    pub fn new(netlist: &Netlist, sides: Vec<u8>) -> Self {
+        assert_eq!(sides.len(), netlist.n_elements(), "one side per element");
+        let mut members: [Vec<u32>; 2] = [Vec::new(), Vec::new()];
+        for (e, &s) in sides.iter().enumerate() {
+            assert!(s <= 1, "sides must be 0 or 1");
+            members[s as usize].push(e as u32);
+        }
+        assert!(
+            members[0].len().abs_diff(members[1].len()) <= 1,
+            "partition must be balanced: {} vs {}",
+            members[0].len(),
+            members[1].len()
+        );
+        let mut pins_on_one = vec![0u32; netlist.n_nets()];
+        let mut cut = 0;
+        for (net, pins) in netlist.nets().enumerate() {
+            let ones = pins.iter().filter(|&&p| sides[p as usize] == 1).count() as u32;
+            pins_on_one[net] = ones;
+            if ones > 0 && (ones as usize) < pins.len() {
+                cut += 1;
+            }
+        }
+        PartitionState {
+            side: sides,
+            members,
+            pins_on_one,
+            cut,
+        }
+    }
+
+    /// A balanced partition with elements `0..⌈n/2⌉` on side 0 — useful as a
+    /// deterministic starting point.
+    pub fn split_first_half(netlist: &Netlist) -> Self {
+        let n = netlist.n_elements();
+        let sides = (0..n).map(|e| u8::from(e >= n.div_ceil(2))).collect();
+        Self::new(netlist, sides)
+    }
+
+    /// The net cut.
+    pub fn cut(&self) -> u32 {
+        self.cut
+    }
+
+    /// The side of `element`.
+    pub fn side_of(&self, element: usize) -> u8 {
+        self.side[element]
+    }
+
+    /// The members of `side`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side > 1`.
+    pub fn members(&self, side: usize) -> &[u32] {
+        &self.members[side]
+    }
+
+    /// Swaps the `i0`-th member of side 0 with the `i1`-th member of side 1,
+    /// updating the cut incrementally. Involutive for fixed `(i0, i1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn swap(&mut self, netlist: &Netlist, i0: usize, i1: usize) {
+        let a = self.members[0][i0]; // moves 0 → 1
+        let b = self.members[1][i1]; // moves 1 → 0
+        self.move_element(netlist, a, 1);
+        self.move_element(netlist, b, 0);
+        self.members[0][i0] = b;
+        self.members[1][i1] = a;
+    }
+
+    fn move_element(&mut self, netlist: &Netlist, e: u32, to: u8) {
+        debug_assert_ne!(self.side[e as usize], to, "element already on target side");
+        self.side[e as usize] = to;
+        let delta: i64 = if to == 1 { 1 } else { -1 };
+        for &net in netlist.nets_of(e as usize) {
+            let size = netlist.pins(net as usize).len() as u32;
+            let before = self.pins_on_one[net as usize];
+            let after = (before as i64 + delta) as u32;
+            self.pins_on_one[net as usize] = after;
+            let was_cut = before > 0 && before < size;
+            let is_cut = after > 0 && after < size;
+            match (was_cut, is_cut) {
+                (false, true) => self.cut += 1,
+                (true, false) => self.cut -= 1,
+                _ => {}
+            }
+        }
+    }
+
+    /// Verifies the incremental cut against a from-scratch recount.
+    pub fn verify(&self, netlist: &Netlist) -> bool {
+        let rebuilt = Self::new(netlist, self.side.clone());
+        rebuilt.cut == self.cut
+            && rebuilt.pins_on_one == self.pins_on_one
+            && self.members_consistent()
+    }
+
+    fn members_consistent(&self) -> bool {
+        let mut all: Vec<u32> = self.members[0]
+            .iter()
+            .chain(self.members[1].iter())
+            .copied()
+            .collect();
+        all.sort_unstable();
+        all.iter().enumerate().all(|(i, &e)| i as u32 == e)
+            && self.members[0].iter().all(|&e| self.side[e as usize] == 0)
+            && self.members[1].iter().all(|&e| self.side[e as usize] == 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anneal_netlist::generator::{random_multi_pin, random_two_pin};
+    use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+    fn square() -> Netlist {
+        // Cycle 0-1-2-3.
+        Netlist::builder(4)
+            .net([0, 1])
+            .net([1, 2])
+            .net([2, 3])
+            .net([0, 3])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn cut_counts_boundary_nets() {
+        let nl = square();
+        // {0,1} vs {2,3}: nets 1-2 and 0-3 cross.
+        let s = PartitionState::new(&nl, vec![0, 0, 1, 1]);
+        assert_eq!(s.cut(), 2);
+        // {0,2} vs {1,3}: all four nets cross.
+        let s = PartitionState::new(&nl, vec![0, 1, 0, 1]);
+        assert_eq!(s.cut(), 4);
+    }
+
+    #[test]
+    fn swap_updates_cut_incrementally() {
+        let nl = square();
+        let mut s = PartitionState::new(&nl, vec![0, 1, 0, 1]);
+        // Swap elements 1 (side 1) and 2 (side 0): gives {0,1} vs {2,3}.
+        let i0 = s.members(0).iter().position(|&e| e == 2).unwrap();
+        let i1 = s.members(1).iter().position(|&e| e == 1).unwrap();
+        s.swap(&nl, i0, i1);
+        assert_eq!(s.cut(), 2);
+        assert!(s.verify(&nl));
+    }
+
+    #[test]
+    fn swap_is_involutive() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let nl = random_two_pin(10, 30, &mut rng);
+        let mut s = PartitionState::split_first_half(&nl);
+        let before = s.clone();
+        s.swap(&nl, 2, 3);
+        s.swap(&nl, 2, 3);
+        assert_eq!(s, before);
+    }
+
+    #[test]
+    fn random_walk_keeps_cut_consistent() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let nl = random_multi_pin(12, 60, 2, 4, &mut rng);
+        let mut s = PartitionState::split_first_half(&nl);
+        for _ in 0..300 {
+            let i0 = rng.random_range(0..s.members(0).len());
+            let i1 = rng.random_range(0..s.members(1).len());
+            s.swap(&nl, i0, i1);
+            assert!(s.verify(&nl));
+        }
+    }
+
+    #[test]
+    fn odd_element_counts_balance_within_one() {
+        let nl = Netlist::builder(5).net([0, 4]).build().unwrap();
+        let s = PartitionState::split_first_half(&nl);
+        assert_eq!(s.members(0).len(), 3);
+        assert_eq!(s.members(1).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "balanced")]
+    fn unbalanced_assignment_rejected() {
+        let nl = square();
+        let _ = PartitionState::new(&nl, vec![0, 0, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 or 1")]
+    fn bad_side_rejected() {
+        let nl = square();
+        let _ = PartitionState::new(&nl, vec![0, 0, 1, 2]);
+    }
+}

@@ -1,0 +1,231 @@
+//! Constructive TSP heuristics: the "sophisticated" classical baselines the
+//! paper's §2 discussion (via [GOLD84] and [STEW77]) pits against simulated
+//! annealing.
+
+use crate::instance::TspInstance;
+use crate::tour::Tour;
+
+/// Nearest-neighbor construction from `start`.
+///
+/// # Panics
+///
+/// Panics if `start` is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use anneal_tsp::{nearest_neighbor, TspInstance};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let inst = TspInstance::random_euclidean(30, &mut rng);
+/// let tour = nearest_neighbor(&inst, 0);
+/// assert!(tour.verify(&inst));
+/// ```
+pub fn nearest_neighbor(instance: &TspInstance, start: usize) -> Tour {
+    let n = instance.n_cities();
+    assert!(start < n, "start city out of range");
+    let mut visited = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut current = start;
+    visited[current] = true;
+    order.push(current as u32);
+    for _ in 1..n {
+        let next = (0..n)
+            .filter(|&c| !visited[c])
+            .min_by(|&a, &b| {
+                instance
+                    .distance(current, a)
+                    .partial_cmp(&instance.distance(current, b))
+                    .expect("distances are finite")
+            })
+            .expect("unvisited city remains");
+        visited[next] = true;
+        order.push(next as u32);
+        current = next;
+    }
+    Tour::new(instance, order)
+}
+
+/// Convex-hull cheapest-insertion construction, in the spirit of Stewart's
+/// CCAO heuristic [STEW77]: start from the convex hull of the cities (an
+/// optimal "skeleton" every optimal tour visits in hull order), then
+/// repeatedly insert the remaining city with the cheapest insertion cost at
+/// its cheapest position.
+pub fn hull_cheapest_insertion(instance: &TspInstance) -> Tour {
+    let n = instance.n_cities();
+    let hull = convex_hull(instance.points());
+    let mut in_tour = vec![false; n];
+    let mut order: Vec<u32> = hull.iter().map(|&c| c as u32).collect();
+    for &c in &hull {
+        in_tour[c] = true;
+    }
+    // Degenerate (collinear) hulls still give a cycle of ≥ 2 points; extend
+    // to at least 3 by inserting the cheapest city if needed.
+    while order.len() < n {
+        // Find the (city, position) pair with minimum insertion cost.
+        let mut best: Option<(f64, usize, usize)> = None;
+        #[allow(clippy::needless_range_loop)] // index drives two parallel arrays
+        for c in 0..n {
+            if in_tour[c] {
+                continue;
+            }
+            for pos in 0..order.len() {
+                let a = order[pos] as usize;
+                let b = order[(pos + 1) % order.len()] as usize;
+                let cost =
+                    instance.distance(a, c) + instance.distance(c, b) - instance.distance(a, b);
+                if best.is_none_or(|(bc, _, _)| cost < bc) {
+                    best = Some((cost, c, pos + 1));
+                }
+            }
+        }
+        let (_, c, pos) = best.expect("cities remain to insert");
+        order.insert(pos % (order.len() + 1), c as u32);
+        in_tour[c] = true;
+    }
+    Tour::new(instance, order)
+}
+
+/// Indices of the convex hull of `points`, in counter-clockwise order
+/// (Andrew's monotone chain). Collinear points are dropped from the hull.
+fn convex_hull(points: &[(f64, f64)]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..points.len()).collect();
+    idx.sort_by(|&a, &b| {
+        points[a]
+            .partial_cmp(&points[b])
+            .expect("coordinates are finite")
+    });
+    let cross = |o: usize, a: usize, b: usize| -> f64 {
+        let (ox, oy) = points[o];
+        let (ax, ay) = points[a];
+        let (bx, by) = points[b];
+        (ax - ox) * (by - oy) - (ay - oy) * (bx - ox)
+    };
+    let mut hull: Vec<usize> = Vec::new();
+    for &p in &idx {
+        while hull.len() >= 2 && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0 {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    let lower_len = hull.len() + 1;
+    for &p in idx.iter().rev() {
+        while hull.len() >= lower_len && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    hull.pop(); // last point equals the first
+    hull.dedup();
+    hull
+}
+
+/// Full 2-opt descent from `tour` (first-improvement passes until locally
+/// optimal). Returns the improved tour and the number of moves applied.
+pub fn two_opt_descent(instance: &TspInstance, mut tour: Tour) -> (Tour, u64) {
+    let n = instance.n_cities();
+    let mut applied = 0;
+    'outer: loop {
+        for i in 0..n - 1 {
+            for j in i + 1..n {
+                if i == 0 && j == n - 1 {
+                    continue;
+                }
+                if tour.two_opt_delta(instance, i, j) < -1e-12 {
+                    tour.apply_two_opt(instance, i, j);
+                    applied += 1;
+                    continue 'outer;
+                }
+            }
+        }
+        break;
+    }
+    (tour, applied)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn circle(n: usize) -> TspInstance {
+        let pts = (0..n)
+            .map(|i| {
+                let a = i as f64 / n as f64 * std::f64::consts::TAU;
+                (a.cos(), a.sin())
+            })
+            .collect();
+        TspInstance::from_points(pts)
+    }
+
+    #[test]
+    fn hull_of_square_is_square() {
+        let pts = vec![(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0), (0.5, 0.5)];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 4);
+        assert!(!hull.contains(&4), "interior point excluded");
+    }
+
+    #[test]
+    fn hull_insertion_solves_circle_exactly() {
+        // All cities on the hull → the construction IS the optimum.
+        let inst = circle(16);
+        let tour = hull_cheapest_insertion(&inst);
+        let opt = inst.tour_length(&(0..16u32).collect::<Vec<_>>());
+        assert!((tour.length() - opt).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nearest_neighbor_visits_every_city() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let inst = TspInstance::random_euclidean(40, &mut rng);
+        let t = nearest_neighbor(&inst, 7);
+        assert!(t.verify(&inst));
+        let mut cities = t.order().to_vec();
+        cities.sort_unstable();
+        assert_eq!(cities, (0..40).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn two_opt_descent_reaches_local_optimum() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let inst = TspInstance::random_euclidean(25, &mut rng);
+        let start = Tour::random(&inst, &mut rng);
+        let (t, applied) = two_opt_descent(&inst, start.clone());
+        assert!(applied > 0);
+        assert!(t.length() < start.length());
+        // No improving 2-opt remains.
+        for i in 0..24 {
+            for j in i + 1..25 {
+                if i == 0 && j == 24 {
+                    continue;
+                }
+                assert!(t.two_opt_delta(&inst, i, j) >= -1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn constructives_beat_random_tours() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let inst = TspInstance::random_euclidean(60, &mut rng);
+        let random = Tour::random(&inst, &mut rng);
+        let nn = nearest_neighbor(&inst, 0);
+        let hull = hull_cheapest_insertion(&inst);
+        assert!(nn.length() < random.length());
+        assert!(hull.length() < random.length());
+        // Hull insertion is the stronger constructive on uniform instances.
+        assert!(hull.length() < nn.length());
+    }
+
+    #[test]
+    fn hull_handles_collinear_points() {
+        let pts = vec![(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 0.0), (1.5, 1.0)];
+        let inst = TspInstance::from_points(pts);
+        let tour = hull_cheapest_insertion(&inst);
+        assert!(tour.verify(&inst));
+        assert_eq!(tour.order().len(), 5);
+    }
+}

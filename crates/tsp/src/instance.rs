@@ -1,0 +1,164 @@
+//! Euclidean TSP instances with a precomputed distance matrix.
+//!
+//! [GOLD84] (§2 of the paper) evaluated simulated annealing against
+//! classical TSP heuristics on random Euclidean instances; the paper's
+//! conclusion points to its own TSP experiments in [NAHA84]. Instances here
+//! are points drawn uniformly from the unit square, the standard random
+//! model.
+
+use rand::{Rng, RngExt};
+
+/// A symmetric Euclidean TSP instance.
+///
+/// # Examples
+///
+/// ```
+/// use anneal_tsp::TspInstance;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let inst = TspInstance::random_euclidean(50, &mut rng);
+/// assert_eq!(inst.n_cities(), 50);
+/// let d = inst.distance(3, 17);
+/// assert!(d > 0.0 && d <= 2f64.sqrt());
+/// assert_eq!(d, inst.distance(17, 3));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TspInstance {
+    points: Vec<(f64, f64)>,
+    dist: Vec<f64>, // row-major n×n
+}
+
+impl TspInstance {
+    /// An instance over explicit points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 3 points are given (no nontrivial tour exists)
+    /// or any coordinate is not finite.
+    pub fn from_points(points: Vec<(f64, f64)>) -> Self {
+        assert!(points.len() >= 3, "a tour needs at least three cities");
+        assert!(
+            points.iter().all(|p| p.0.is_finite() && p.1.is_finite()),
+            "coordinates must be finite"
+        );
+        let n = points.len();
+        let mut dist = vec![0.0; n * n];
+        for i in 0..n {
+            for j in i + 1..n {
+                let dx = points[i].0 - points[j].0;
+                let dy = points[i].1 - points[j].1;
+                let d = (dx * dx + dy * dy).sqrt();
+                dist[i * n + j] = d;
+                dist[j * n + i] = d;
+            }
+        }
+        TspInstance { points, dist }
+    }
+
+    /// `n` cities uniform in the unit square.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3`.
+    pub fn random_euclidean(n: usize, rng: &mut dyn Rng) -> Self {
+        assert!(n >= 3, "a tour needs at least three cities");
+        let points = (0..n)
+            .map(|_| (rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)))
+            .collect();
+        Self::from_points(points)
+    }
+
+    /// Number of cities.
+    pub fn n_cities(&self) -> usize {
+        self.points.len()
+    }
+
+    /// The coordinates of city `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    pub fn point(&self, c: usize) -> (f64, f64) {
+        self.points[c]
+    }
+
+    /// All coordinates.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Distance between cities `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn distance(&self, a: usize, b: usize) -> f64 {
+        self.dist[a * self.points.len() + b]
+    }
+
+    /// Length of the closed tour visiting `order` (a permutation of the
+    /// cities).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` length differs from the city count.
+    pub fn tour_length(&self, order: &[u32]) -> f64 {
+        assert_eq!(order.len(), self.n_cities(), "order must visit every city");
+        let n = order.len();
+        (0..n)
+            .map(|i| self.distance(order[i] as usize, order[(i + 1) % n] as usize))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn unit_square_distances() {
+        let inst = TspInstance::from_points(vec![(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)]);
+        assert_eq!(inst.distance(0, 1), 1.0);
+        assert!((inst.distance(0, 2) - 2f64.sqrt()).abs() < 1e-12);
+        assert_eq!(inst.distance(2, 2), 0.0);
+        assert_eq!(inst.tour_length(&[0, 1, 2, 3]), 4.0);
+        // The crossing tour is longer.
+        assert!(inst.tour_length(&[0, 2, 1, 3]) > 4.0);
+    }
+
+    #[test]
+    fn triangle_inequality_holds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let inst = TspInstance::random_euclidean(20, &mut rng);
+        for a in 0..20 {
+            for b in 0..20 {
+                for c in 0..20 {
+                    assert!(
+                        inst.distance(a, c) <= inst.distance(a, b) + inst.distance(b, c) + 1e-12
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let a = TspInstance::random_euclidean(30, &mut StdRng::seed_from_u64(5));
+        let b = TspInstance::random_euclidean(30, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least three cities")]
+    fn too_few_cities_panics() {
+        let _ = TspInstance::from_points(vec![(0.0, 0.0), (1.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_coordinates_panic() {
+        let _ = TspInstance::from_points(vec![(0.0, 0.0), (f64::NAN, 1.0), (1.0, 0.0)]);
+    }
+}

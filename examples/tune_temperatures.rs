@@ -1,0 +1,28 @@
+//! Reproduce the §4.2.1 temperature-tuning sweep at reduced scale and print
+//! the per-class sweep table plus the winning temperatures.
+//!
+//! ```sh
+//! cargo run --release --example tune_temperatures
+//! ```
+
+use annealbench::experiments::{tuning, SuiteConfig};
+
+fn main() {
+    // Paper-faithful sweep (fast at the calibrated 250 evals/VAX-second).
+    let config = SuiteConfig::paper();
+    let outcome = tuning::run(&config);
+
+    println!("{}", outcome.table);
+    println!("winning temperatures:");
+    let t = outcome.tuned;
+    println!("  Metropolis                 Y₁ = {}", t.metropolis);
+    println!("  Six Temperature Annealing  Y₁ = {}", t.annealing6);
+    println!("  Linear/Quadratic/Cubic     Y₁ = {:?}", t.poly_current);
+    println!("  Exponential                Y₁ = {}", t.exp_current);
+    println!("  6 Linear/Quadratic/Cubic   Y₁ = {:?}", t.poly_current6);
+    println!("  6 Exponential              Y₁ = {}", t.exp_current6);
+    println!("  Diff (lin/quad/cubic)      Y₁ = {:?}", t.poly_diff);
+    println!("  Exponential Diff           Y₁ = {}", t.exp_diff);
+    println!("  6 Diff (lin/quad/cubic)    Y₁ = {:?}", t.poly_diff6);
+    println!("  6 Exponential Diff         Y₁ = {}", t.exp_diff6);
+}
