@@ -25,7 +25,6 @@ const E_MINUS_1: f64 = std::f64::consts::E - 1.0;
 /// `[0, 1]`; several of the paper's forms (e.g. `Y/(h(j)-h(i))` with a small
 /// difference) exceed 1, which simply means "always accept".
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Form {
     /// `e^{-(h(j)-h(i))/Y}` — classes 1 (Metropolis, k=1) and 2
     /// (six-temperature annealing, k=6).

@@ -32,7 +32,6 @@ pub const PAPER_GATE_PERIOD: u32 = 18;
 /// assert!(gate.on_uphill()); // counter = 3 → accept
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Gate {
     period: u32,
     counter: u32,

@@ -8,10 +8,10 @@ use crate::budget::Budget;
 use crate::problem::Problem;
 use crate::stats::RunResult;
 use crate::strategy::{Figure1, Figure2, Rejectionless, DEFAULT_EQUILIBRIUM};
+use crate::telemetry::RunTelemetry;
 
 /// Which of the paper's two control strategies to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Strategy {
     /// Figure 1: perturb, accept uphill moves probabilistically.
     #[default]
@@ -128,6 +128,19 @@ impl<'a, P: Problem> Annealer<'a, P> {
     /// it is reset at the start of the run, so a `GFunction` can be reused
     /// across runs.
     pub fn run(&self, g: &mut GFunction) -> RunResult<P::State> {
+        self.dispatch(g)
+    }
+
+    /// Runs the configured strategy and also returns the run's
+    /// [`RunTelemetry`] (wall time, throughput, per-temperature breakdown).
+    pub fn run_instrumented(&self, g: &mut GFunction) -> (RunResult<P::State>, RunTelemetry) {
+        let started = std::time::Instant::now();
+        let result = self.dispatch(g);
+        let telemetry = RunTelemetry::capture(&result, started.elapsed());
+        (result, telemetry)
+    }
+
+    fn dispatch(&self, g: &mut GFunction) -> RunResult<P::State> {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let start = match &self.start {
             Some(s) => s.clone(),

@@ -61,10 +61,23 @@ impl Budget {
 
     /// Scales the budget by an integer factor (used by the experiment
     /// harness's `--scale` fast mode).
+    ///
+    /// A `divisor` of 0 is treated as 1, matching both currencies: dividing
+    /// by zero is never a meaningful scale and must not panic mid-suite.
     pub fn scale_div(&self, divisor: u64) -> Budget {
+        let divisor = divisor.max(1);
         match *self {
             Budget::Evaluations(n) => Budget::Evaluations((n / divisor).max(1)),
-            Budget::WallClock(d) => Budget::WallClock(d / divisor.max(1) as u32),
+            Budget::WallClock(d) => Budget::WallClock(d / divisor as u32),
+        }
+    }
+}
+
+impl std::fmt::Display for Budget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Budget::Evaluations(n) => write!(f, "{n} evals"),
+            Budget::WallClock(d) => write!(f, "{:.3}s wall", d.as_secs_f64()),
         }
     }
 }
@@ -165,6 +178,46 @@ mod tests {
             Budget::evaluations(14)
         );
         assert_eq!(Budget::evaluations(3).scale_div(10), Budget::evaluations(1));
+    }
+
+    #[test]
+    fn scale_div_zero_is_identity_for_both_currencies() {
+        // Regression: the Evaluations arm used to divide unguarded and
+        // panicked on 0 while WallClock clamped the divisor to 1.
+        assert_eq!(
+            Budget::evaluations(100).scale_div(0),
+            Budget::evaluations(100)
+        );
+        let d = Duration::from_secs(5);
+        assert_eq!(Budget::wall_clock(d).scale_div(0), Budget::wall_clock(d));
+        assert_eq!(
+            Budget::wall_clock(d).scale_div(2),
+            Budget::wall_clock(Duration::from_millis(2500))
+        );
+    }
+
+    #[test]
+    fn display_labels_both_currencies() {
+        assert_eq!(Budget::evaluations(1500).to_string(), "1500 evals");
+        assert_eq!(
+            Budget::wall_clock(Duration::from_millis(250)).to_string(),
+            "0.250s wall"
+        );
+    }
+
+    #[test]
+    fn wall_clock_meter_deadline_elapses() {
+        // A short real deadline: not exhausted at start, exhausted after
+        // sleeping past it. Charges never affect a wall-clock meter.
+        let mut m = Meter::new(Budget::wall_clock(Duration::from_millis(30)));
+        m.charge(1_000_000);
+        assert!(
+            !m.exhausted() || m.started.elapsed() >= Duration::from_millis(30),
+            "charges alone must not exhaust a wall-clock meter"
+        );
+        std::thread::sleep(Duration::from_millis(35));
+        assert!(m.exhausted());
+        assert_eq!(m.evals(), 1_000_000, "evals are still counted");
     }
 
     #[test]

@@ -65,6 +65,7 @@ mod schedule;
 mod seeds;
 mod stats;
 pub mod strategy;
+pub mod telemetry;
 pub mod tune;
 
 pub use accept::{Form, GFunction, Gate, KIRKPATRICK_RATIO, PAPER_GATE_PERIOD};
@@ -74,8 +75,9 @@ pub use problem::Problem;
 pub use range::{estimate_delta_stats, white84_schedule, DeltaStats};
 pub use schedule::Schedule;
 pub use seeds::derive_seed;
-pub use stats::{RunResult, RunStats, StopReason};
+pub use stats::{AdvanceReason, RunResult, RunStats, StopReason, TempStats};
 pub use strategy::{Figure1, Figure2, Rejectionless, DEFAULT_EQUILIBRIUM};
+pub use telemetry::{RunTelemetry, TelemetrySink};
 pub use tune::{CandidateOutcome, TuneReport, Tuner};
 
 // Re-export the rand traits that appear in this crate's public API so

@@ -29,7 +29,6 @@ use std::fmt;
 /// assert!((s.value(5) - 10.0 * 0.9f64.powi(5)).abs() < 1e-12);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Schedule {
     values: Vec<f64>,
 }

@@ -2,7 +2,6 @@
 
 /// Why a run (or a temperature stage) ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum StopReason {
     /// The computation budget was exhausted.
     Budget,
@@ -11,9 +10,72 @@ pub enum StopReason {
     Equilibrium,
 }
 
+impl StopReason {
+    /// Stable lower-case name, used in telemetry records.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            StopReason::Budget => "budget",
+            StopReason::Equilibrium => "equilibrium",
+        }
+    }
+}
+
+/// Why a temperature stage ended (the per-temperature analogue of
+/// [`StopReason`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdvanceReason {
+    /// The stage's budget share ran out.
+    Budget,
+    /// The equilibrium counter reached `n`.
+    Equilibrium,
+}
+
+impl AdvanceReason {
+    /// Stable lower-case name, used in telemetry records.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AdvanceReason::Budget => "budget",
+            AdvanceReason::Equilibrium => "equilibrium",
+        }
+    }
+}
+
+/// Counters for one temperature stage of a run: the per-temperature
+/// acceptance/advance breakdown behind [`RunStats`]'s aggregate counters.
+///
+/// The last entry's [`ended_by`](TempStats::ended_by) mirrors the run's
+/// [`StopReason`]; earlier entries record why the stage advanced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TempStats {
+    /// Temperature index (0-based position in the schedule).
+    pub temp: usize,
+    /// Cost evaluations charged during this stage.
+    pub evals: u64,
+    /// Perturbations proposed during this stage.
+    pub proposals: u64,
+    /// Downhill acceptances during this stage.
+    pub accepted_downhill: u64,
+    /// Uphill acceptances during this stage.
+    pub accepted_uphill: u64,
+    /// Uphill rejections during this stage.
+    pub rejected_uphill: u64,
+    /// Why the stage ended.
+    pub ended_by: AdvanceReason,
+}
+
+impl TempStats {
+    /// Fraction of this stage's proposals accepted; 0 if none proposed.
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.proposals == 0 {
+            0.0
+        } else {
+            (self.accepted_downhill + self.accepted_uphill) as f64 / self.proposals as f64
+        }
+    }
+}
+
 /// Counters collected during a strategy run.
 #[derive(Debug, Clone, Default, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RunStats {
     /// Cost evaluations charged against the budget (random perturbations plus
     /// local-search probes).
@@ -35,6 +97,9 @@ pub struct RunStats {
     /// Best-cost trajectory samples `(evals, best_cost)`, if sampling was
     /// enabled on the strategy.
     pub trajectory: Vec<(u64, f64)>,
+    /// Per-temperature breakdown of the counters above, one entry per
+    /// temperature stage actually entered (at most the schedule length `k`).
+    pub per_temp: Vec<TempStats>,
 }
 
 impl RunStats {

@@ -161,14 +161,22 @@ impl Figure1 {
             }
         };
 
-        RunResult {
-            best_state: run.best_state,
-            best_cost: run.best_cost,
-            initial_cost,
-            final_cost: cost,
-            stop,
-            stats: run.stats,
-        }
+        run.finish(stop, initial_cost, cost)
+    }
+
+    /// Like [`run`](Self::run), additionally feeding a timed
+    /// [`RunTelemetry`](crate::telemetry::RunTelemetry) record to `sink`.
+    /// With `sink = None` this is exactly `run` — the clock is never read.
+    pub fn run_with_telemetry<P: Problem>(
+        &self,
+        problem: &P,
+        g: &mut GFunction,
+        start: P::State,
+        budget: Budget,
+        rng: &mut dyn Rng,
+        sink: Option<&mut dyn crate::telemetry::TelemetrySink>,
+    ) -> RunResult<P::State> {
+        crate::telemetry::timed(sink, || self.run(problem, g, start, budget, rng))
     }
 }
 
@@ -296,6 +304,33 @@ mod tests {
             assert!(w[0].0 < w[1].0, "eval counts increase");
             assert!(w[0].1 >= w[1].1, "best cost never worsens");
         }
+    }
+
+    #[test]
+    fn wall_clock_budget_stops_run() {
+        // A hot Metropolis g accepts almost every uphill move, so the
+        // equilibrium counter keeps resetting and only the deadline can end
+        // the run.
+        let p = BitCount;
+        let mut rng = StdRng::seed_from_u64(21);
+        let start = p.random_state(&mut rng);
+        let mut g = GFunction::metropolis(10.0);
+        let r = Figure1::default().run(
+            &p,
+            &mut g,
+            start,
+            Budget::wall_clock(std::time::Duration::from_millis(40)),
+            &mut rng,
+        );
+        assert_eq!(r.stop, StopReason::Budget);
+        assert!(
+            r.stats.evals > 0,
+            "the run did real work before the deadline"
+        );
+        assert!(
+            !r.stats.per_temp.is_empty(),
+            "wall-clock runs still record per-temperature telemetry"
+        );
     }
 
     #[test]

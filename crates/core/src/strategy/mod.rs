@@ -23,7 +23,7 @@ pub use rejectionless::Rejectionless;
 
 use crate::budget::{Budget, Meter};
 use crate::problem::Problem;
-use crate::stats::RunStats;
+use crate::stats::{AdvanceReason, RunResult, RunStats, StopReason, TempStats};
 
 /// Default equilibrium counter limit `n` (the paper states the mechanism but
 /// not the constant; see DESIGN.md).
@@ -43,6 +43,19 @@ pub(crate) struct Run<P: Problem> {
     last_sample: u64,
     pub best_state: P::State,
     pub best_cost: f64,
+    /// Cumulative-counter snapshot at the start of the current temperature
+    /// stage, for the per-temperature breakdown.
+    stage_mark: StageMark,
+}
+
+/// Snapshot of the cumulative counters at a temperature boundary.
+#[derive(Debug, Clone, Copy, Default)]
+struct StageMark {
+    evals: u64,
+    proposals: u64,
+    accepted_downhill: u64,
+    accepted_uphill: u64,
+    rejected_uphill: u64,
 }
 
 impl<P: Problem> Run<P> {
@@ -66,6 +79,7 @@ impl<P: Problem> Run<P> {
             last_sample: 0,
             best_state: start.clone(),
             best_cost: cost,
+            stage_mark: StageMark::default(),
         }
     }
 
@@ -95,9 +109,15 @@ impl<P: Problem> Run<P> {
     /// equilibrium counter and the per-temperature meter. Returns `false`
     /// when already at the last temperature (the caller stops the run).
     pub fn advance_temp(&mut self, due_to_budget: bool) -> bool {
+        let reason = if due_to_budget {
+            AdvanceReason::Budget
+        } else {
+            AdvanceReason::Equilibrium
+        };
         if self.temp + 1 >= self.k {
             return false;
         }
+        self.close_stage(reason);
         self.temp += 1;
         self.counter = 0;
         self.meter = Meter::new(self.per_temp);
@@ -107,5 +127,52 @@ impl<P: Problem> Run<P> {
             self.stats.equilibrium_advances += 1;
         }
         true
+    }
+
+    /// Records the finished temperature stage as the delta between the
+    /// cumulative counters and the last boundary snapshot.
+    fn close_stage(&mut self, ended_by: AdvanceReason) {
+        let mark = self.stage_mark;
+        let entry = TempStats {
+            temp: self.temp,
+            evals: self.stats.evals - mark.evals,
+            proposals: self.stats.proposals - mark.proposals,
+            accepted_downhill: self.stats.accepted_downhill - mark.accepted_downhill,
+            accepted_uphill: self.stats.accepted_uphill - mark.accepted_uphill,
+            rejected_uphill: self.stats.rejected_uphill - mark.rejected_uphill,
+            ended_by,
+        };
+        self.stats.per_temp.push(entry);
+        self.stage_mark = StageMark {
+            evals: self.stats.evals,
+            proposals: self.stats.proposals,
+            accepted_downhill: self.stats.accepted_downhill,
+            accepted_uphill: self.stats.accepted_uphill,
+            rejected_uphill: self.stats.rejected_uphill,
+        };
+    }
+
+    /// Closes the final temperature stage and assembles the [`RunResult`].
+    /// Every strategy ends its run through here so the per-temperature
+    /// breakdown always covers the whole run.
+    pub fn finish(
+        mut self,
+        stop: StopReason,
+        initial_cost: f64,
+        final_cost: f64,
+    ) -> RunResult<P::State> {
+        let ended_by = match stop {
+            StopReason::Budget => AdvanceReason::Budget,
+            StopReason::Equilibrium => AdvanceReason::Equilibrium,
+        };
+        self.close_stage(ended_by);
+        RunResult {
+            best_state: self.best_state,
+            best_cost: self.best_cost,
+            initial_cost,
+            final_cost,
+            stop,
+            stats: self.stats,
+        }
     }
 }

@@ -244,10 +244,8 @@ pub fn instance_size(config: &SuiteConfig) -> Table {
     for n in INSTANCE_SIZES {
         let problems: Vec<LinearArrangementProblem> = (0..30)
             .map(|i| {
-                let mut rng = StdRng::seed_from_u64(derive_seed(
-                    config.seed ^ (n as u64) << 40,
-                    i as u64,
-                ));
+                let mut rng =
+                    StdRng::seed_from_u64(derive_seed(config.seed ^ (n as u64) << 40, i as u64));
                 LinearArrangementProblem::new(random_two_pin(n, 10 * n, &mut rng))
             })
             .collect();

@@ -18,15 +18,21 @@
 //!   all         everything above
 //!
 //! OPTIONS:
-//!   --scale N   divide every budget by N (default 1 = paper-faithful)
-//!   --seed N    base seed (default 1985)
-//!   --csv       emit CSV instead of aligned text
+//!   --scale N         divide every budget by N (default 1 = paper-faithful)
+//!   --seed N          base seed (default 1985)
+//!   --csv             emit CSV instead of aligned text
+//!   --threads N       OS threads per table cell (default 1; totals identical)
+//!   --telemetry PATH  stream one JSON-lines record per table cell to PATH,
+//!                     isolate cell panics as failed cells, and print an
+//!                     end-of-suite summary (slowest cells, total evals,
+//!                     failed cells) to stderr; see EXPERIMENTS.md
 //! ```
 
 use std::process::ExitCode;
 
 use anneal_experiments::{
     ablation, diagnostics, ext_partition, ext_tsp, tables, trajectory, tuning, SuiteConfig, Table,
+    TelemetryLog,
 };
 
 fn main() -> ExitCode {
@@ -35,7 +41,10 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("error: {msg}");
-            eprintln!("usage: repro [--scale N] [--seed N] [--csv] <experiment>...");
+            eprintln!(
+                "usage: repro [--scale N] [--seed N] [--csv] [--threads N] \
+                 [--telemetry PATH] <experiment>..."
+            );
             eprintln!(
                 "experiments: tuning table4.1 table4.2a table4.2b table4.2c table4.2d \
                  partition tsp ablation trajectory diagnostics all"
@@ -48,6 +57,7 @@ fn main() -> ExitCode {
 fn run(args: &[String]) -> Result<(), String> {
     let mut config = SuiteConfig::paper();
     let mut csv = false;
+    let mut telemetry_path: Option<String> = None;
     let mut experiments: Vec<String> = Vec::new();
 
     let mut it = args.iter();
@@ -69,6 +79,20 @@ fn run(args: &[String]) -> Result<(), String> {
                 let seed: u64 = v.parse().map_err(|_| format!("bad --seed value `{v}`"))?;
                 config = config.with_seed(seed);
             }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("bad --threads value `{v}`"))?;
+                if n == 0 {
+                    return Err("--threads must be positive".into());
+                }
+                config = config.with_threads(n);
+            }
+            "--telemetry" => {
+                let v = it.next().ok_or("--telemetry needs a path")?;
+                telemetry_path = Some(v.clone());
+            }
             "--csv" => csv = true,
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}`"));
@@ -76,6 +100,15 @@ fn run(args: &[String]) -> Result<(), String> {
             exp => experiments.push(exp.to_string()),
         }
     }
+
+    let log = match &telemetry_path {
+        Some(path) => {
+            let file = std::fs::File::create(path)
+                .map_err(|e| format!("cannot create telemetry file `{path}`: {e}"))?;
+            TelemetryLog::with_writer(Box::new(std::io::BufWriter::new(file)))
+        }
+        None => TelemetryLog::disabled(),
+    };
 
     if experiments.is_empty() {
         return Err("no experiment given".into());
@@ -100,7 +133,7 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 
     for exp in &experiments {
-        for table in dispatch(exp, &config)? {
+        for table in dispatch(exp, &config, &log)? {
             if csv {
                 print!("{}", table.to_csv());
             } else {
@@ -108,21 +141,27 @@ fn run(args: &[String]) -> Result<(), String> {
             }
         }
     }
+    if log.is_enabled() {
+        eprint!("{}", log.summary());
+        if let Some(path) = &telemetry_path {
+            eprintln!("telemetry records written to {path}");
+        }
+    }
     Ok(())
 }
 
-fn dispatch(exp: &str, config: &SuiteConfig) -> Result<Vec<Table>, String> {
+fn dispatch(exp: &str, config: &SuiteConfig, log: &TelemetryLog) -> Result<Vec<Table>, String> {
     Ok(match exp {
         "tuning" => {
             let out = tuning::run(config);
             eprintln!("tuned: {:?}", out.tuned);
             vec![out.table]
         }
-        "table4.1" => vec![tables::table4_1::run(config)],
-        "table4.2a" => vec![tables::table4_2a::run(config)],
-        "table4.2b" => vec![tables::table4_2b::run(config)],
-        "table4.2c" => vec![tables::table4_2c::run(config)],
-        "table4.2d" => vec![tables::table4_2d::run(config)],
+        "table4.1" => vec![tables::table4_1::run_logged(config, log)],
+        "table4.2a" => vec![tables::table4_2a::run_logged(config, log)],
+        "table4.2b" => vec![tables::table4_2b::run_logged(config, log)],
+        "table4.2c" => vec![tables::table4_2c::run_logged(config, log)],
+        "table4.2d" => vec![tables::table4_2d::run_logged(config, log)],
         "partition" => vec![ext_partition::run(config)],
         "tsp" => vec![ext_tsp::run(config)],
         "ablation" => vec![

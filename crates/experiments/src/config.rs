@@ -14,6 +14,9 @@ pub struct SuiteConfig {
     pub scale: Scale,
     /// Tuned temperatures for the g classes.
     pub tuned: TunedY,
+    /// OS threads per table cell (instances fan out; totals are identical
+    /// for any thread count).
+    pub threads: usize,
 }
 
 impl SuiteConfig {
@@ -23,6 +26,7 @@ impl SuiteConfig {
             seed: DEFAULT_SEED,
             scale: Scale::FULL,
             tuned: TunedY::gola_defaults(),
+            threads: 1,
         }
     }
 
@@ -39,6 +43,13 @@ impl SuiteConfig {
     /// Same configuration at another seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Same configuration with table cells fanned out over `threads` OS
+    /// threads (clamped to at least 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
         self
     }
 }

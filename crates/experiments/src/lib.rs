@@ -44,6 +44,7 @@ mod roster;
 mod runner;
 mod table;
 pub mod tables;
+pub mod telemetry;
 pub mod trajectory;
 pub mod tuning;
 
@@ -55,3 +56,4 @@ pub use instances::{gola_paper_set, nola_paper_set, DEFAULT_SEED, NOLA_PIN_RANGE
 pub use roster::{full_roster, reduced_roster, MethodCtx, MethodSpec, TunedY};
 pub use runner::ArrangementSet;
 pub use table::Table;
+pub use telemetry::{CellFailure, CellKey, CellRecord, SuiteSummary, TelemetryLog};

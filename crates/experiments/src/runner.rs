@@ -1,16 +1,46 @@
 //! Shared machinery for the arrangement tables: an instance set with fixed
 //! per-instance starting states, run under any method × strategy × budget.
+//!
+//! Every cell run is **fault isolated**: each instance executes under
+//! [`std::panic::catch_unwind`], so a panicking method (a buggy g function, a
+//! degenerate instance) is recorded as a failed cell in the
+//! [`TelemetryLog`] — with its method, instance index and chain seed — while
+//! the rest of the table completes. Without an enabled log the panic is
+//! re-raised, preserving fail-fast behavior for ad-hoc runs.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
 
 use anneal_core::{
-    derive_seed, Budget, Figure1, Figure2, Rejectionless, Strategy, DEFAULT_EQUILIBRIUM,
+    derive_seed, Budget, Figure1, Figure2, Rejectionless, RunResult, RunTelemetry, Strategy,
+    DEFAULT_EQUILIBRIUM,
 };
 use anneal_linarr::{goto_arrangement, ArrangedState, LinearArrangementProblem};
 use rand::{rngs::StdRng, SeedableRng};
 
 use crate::roster::{MethodCtx, MethodSpec};
+use crate::telemetry::{CellFailure, CellKey, CellRecord, TelemetryLog};
 
 /// Seed-stream salt separating start generation from chain randomness.
 const RUN_SALT: u64 = 0x52554E;
+
+/// What one instance run produced: its reduction and telemetry, or the
+/// message of a caught panic.
+struct InstanceOutcome {
+    index: usize,
+    seed: u64,
+    outcome: Result<(f64, RunTelemetry), String>,
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// An instance set with one fixed starting state per instance, so every
 /// method sees identical starts ("Each g class used the same initial
@@ -91,10 +121,20 @@ impl ArrangementSet {
     /// Runs `spec` on every instance under `strategy` with per-instance
     /// `budget`, returning the total cost reduction over the set — the cell
     /// value in the paper's tables.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises any instance panic (use [`run_cell`](Self::run_cell) with an
+    /// enabled [`TelemetryLog`] for fault-isolated runs).
     pub fn run_method(&self, spec: &MethodSpec, strategy: Strategy, budget: Budget) -> f64 {
-        (0..self.problems.len())
-            .map(|idx| self.run_instance(idx, spec, strategy, budget))
-            .sum()
+        self.run_cell(
+            CellKey::new("adhoc", spec.name(), budget.to_string()),
+            spec,
+            strategy,
+            budget,
+            1,
+            &TelemetryLog::disabled(),
+        )
     }
 
     /// [`run_method`](Self::run_method) with instances fanned out over
@@ -103,7 +143,7 @@ impl ArrangementSet {
     ///
     /// # Panics
     ///
-    /// Panics if `threads == 0`.
+    /// Panics if `threads == 0`, and re-raises any instance panic.
     pub fn run_method_parallel(
         &self,
         spec: &MethodSpec,
@@ -111,32 +151,127 @@ impl ArrangementSet {
         budget: Budget,
         threads: usize,
     ) -> f64 {
+        self.run_cell(
+            CellKey::new("adhoc", spec.name(), budget.to_string()),
+            spec,
+            strategy,
+            budget,
+            threads,
+            &TelemetryLog::disabled(),
+        )
+    }
+
+    /// Runs one table cell — `spec` × `strategy` × `budget` over the whole
+    /// set — with per-instance fault isolation, recording a [`CellRecord`]
+    /// into `log`, and returns the total reduction over instances that
+    /// completed.
+    ///
+    /// Instances are fanned out over `threads` OS threads (1 = sequential);
+    /// per-instance results are summed in index order, so totals are bitwise
+    /// identical regardless of thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`. When `log` is disabled an instance panic is
+    /// re-raised (fail-fast); when it is enabled the panic is recorded as a
+    /// [`CellFailure`] and the remaining instances still run.
+    pub fn run_cell(
+        &self,
+        key: CellKey,
+        spec: &MethodSpec,
+        strategy: Strategy,
+        budget: Budget,
+        threads: usize,
+        log: &TelemetryLog,
+    ) -> f64 {
         assert!(threads > 0, "need at least one thread");
         let n = self.problems.len();
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        // Per-instance results are written into fixed slots and summed in
-        // index order afterwards, so the floating-point total is identical
-        // to the sequential version regardless of thread interleaving.
-        let results = std::sync::Mutex::new(vec![0.0f64; n]);
-        std::thread::scope(|scope| {
-            for _ in 0..threads.min(n.max(1)) {
-                let next = &next;
-                let results = &results;
-                scope.spawn(move || loop {
-                    let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if idx >= n {
-                        break;
-                    }
-                    let r = self.run_instance(idx, spec, strategy, budget);
-                    results.lock().expect("no poisoned workers")[idx] = r;
-                });
+        let outcomes: Vec<InstanceOutcome> = if threads == 1 || n <= 1 {
+            (0..n)
+                .map(|idx| self.run_instance_caught(idx, spec, strategy, budget))
+                .collect()
+        } else {
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            // Per-instance results are written into fixed slots and combined
+            // in index order afterwards, so the floating-point total is
+            // identical to the sequential version regardless of thread
+            // interleaving.
+            let slots: std::sync::Mutex<Vec<Option<InstanceOutcome>>> =
+                std::sync::Mutex::new((0..n).map(|_| None).collect());
+            std::thread::scope(|scope| {
+                for _ in 0..threads.min(n) {
+                    let next = &next;
+                    let slots = &slots;
+                    scope.spawn(move || loop {
+                        let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if idx >= n {
+                            break;
+                        }
+                        let outcome = self.run_instance_caught(idx, spec, strategy, budget);
+                        slots.lock().expect("no poisoned workers")[idx] = Some(outcome);
+                    });
+                }
+            });
+            slots
+                .into_inner()
+                .expect("no poisoned workers")
+                .into_iter()
+                .map(|o| o.expect("every slot filled"))
+                .collect()
+        };
+
+        let mut record = CellRecord::empty(key, format!("{strategy:?}"), budget, self.seed);
+        record.instances = n;
+        let mut total = 0.0;
+        for o in &outcomes {
+            match &o.outcome {
+                Ok((reduction, telemetry)) => {
+                    total += reduction;
+                    record.absorb(o.index, o.seed, telemetry);
+                }
+                Err(message) => record.failures.push(CellFailure {
+                    instance: o.index,
+                    seed: o.seed,
+                    message: message.clone(),
+                }),
             }
-        });
-        results
-            .into_inner()
-            .expect("no poisoned workers")
-            .iter()
-            .sum()
+        }
+
+        if !log.is_enabled() {
+            if let Some(f) = record.failures.first() {
+                panic!(
+                    "instance {} (seed {}) of cell {} panicked: {}",
+                    f.instance, f.seed, record.key, f.message
+                );
+            }
+        }
+        log.record(record);
+        total
+    }
+
+    fn run_instance_caught(
+        &self,
+        idx: usize,
+        spec: &MethodSpec,
+        strategy: Strategy,
+        budget: Budget,
+    ) -> InstanceOutcome {
+        let seed = derive_seed(self.seed ^ RUN_SALT, idx as u64);
+        let started = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            self.run_instance(idx, spec, strategy, budget)
+        }));
+        InstanceOutcome {
+            index: idx,
+            seed,
+            outcome: match outcome {
+                Ok(result) => {
+                    let telemetry = RunTelemetry::capture(&result, started.elapsed());
+                    Ok((result.reduction(), telemetry))
+                }
+                Err(payload) => Err(panic_message(payload)),
+            },
+        }
     }
 
     fn run_instance(
@@ -145,7 +280,7 @@ impl ArrangementSet {
         spec: &MethodSpec,
         strategy: Strategy,
         budget: Budget,
-    ) -> f64 {
+    ) -> RunResult<ArrangedState> {
         let problem = &self.problems[idx];
         let start = &self.starts[idx];
         let ctx = MethodCtx {
@@ -153,7 +288,7 @@ impl ArrangementSet {
         };
         let mut g = spec.g(&ctx);
         let mut rng = StdRng::seed_from_u64(derive_seed(self.seed ^ RUN_SALT, idx as u64));
-        let result = match strategy {
+        match strategy {
             Strategy::Figure1 => Figure1::with_equilibrium(self.equilibrium).run(
                 problem,
                 &mut g,
@@ -171,8 +306,7 @@ impl ArrangementSet {
             Strategy::Rejectionless => {
                 Rejectionless::default().run(problem, &mut g, start.clone(), budget, &mut rng)
             }
-        };
-        result.reduction()
+        }
     }
 }
 
@@ -241,5 +375,144 @@ mod tests {
         let set = tiny_set();
         let roster = full_roster(TunedY::default());
         let _ = set.run_method_parallel(&roster[0], Strategy::Figure1, Budget::evaluations(10), 0);
+    }
+
+    /// Instances with distinct net counts, so a method spec can single one
+    /// out (net counts 60..=63, instance index = n_nets - 60).
+    fn mixed_set() -> ArrangementSet {
+        use anneal_netlist::generator::random_two_pin;
+        let problems = (0..4u64)
+            .map(|i| {
+                let mut rng = StdRng::seed_from_u64(100 + i);
+                LinearArrangementProblem::new(random_two_pin(10, 60 + i as usize, &mut rng))
+            })
+            .collect();
+        ArrangementSet::with_random_starts(problems, 7)
+    }
+
+    /// Panics while instantiating g for the instance with 62 nets (index 2).
+    fn poisoned_spec() -> MethodSpec {
+        use anneal_core::GFunction;
+        MethodSpec::with_ctx("poisoned", |ctx| {
+            assert_ne!(ctx.n_nets, 62, "injected failure");
+            GFunction::unit()
+        })
+    }
+
+    #[test]
+    fn injected_panic_becomes_failed_cell_and_rest_completes() {
+        let set = mixed_set();
+        let log = TelemetryLog::in_memory();
+        let key = CellKey::new("test", "poisoned", "500 evals");
+        let total = set.run_cell(
+            key,
+            &poisoned_spec(),
+            Strategy::Figure1,
+            Budget::evaluations(500),
+            1,
+            &log,
+        );
+
+        let records = log.records();
+        assert_eq!(records.len(), 1);
+        let r = &records[0];
+        assert!(!r.ok());
+        assert_eq!(r.failures.len(), 1);
+        assert_eq!(r.failures[0].instance, 2);
+        assert!(r.failures[0].message.contains("injected failure"));
+        // The other three instances completed and were recorded.
+        assert_eq!(r.instances, 4);
+        let done: Vec<usize> = r.per_instance.iter().map(|i| i.index).collect();
+        assert_eq!(done, vec![0, 1, 3]);
+        assert_eq!(total, r.reduction);
+        assert!(total > 0.0, "surviving instances still did useful work");
+        // The summary surfaces the failure for triage.
+        let summary = log.summary();
+        assert_eq!(summary.failed.len(), 1);
+        assert_eq!(summary.failed[0].1[0].instance, 2);
+    }
+
+    #[test]
+    fn parallel_cell_with_panic_matches_sequential() {
+        let set = mixed_set();
+        let budget = Budget::evaluations(500);
+        let run = |threads| {
+            let log = TelemetryLog::in_memory();
+            let key = CellKey::new("test", "poisoned", "500 evals");
+            let total = set.run_cell(
+                key,
+                &poisoned_spec(),
+                Strategy::Figure1,
+                budget,
+                threads,
+                &log,
+            );
+            (total, log.records().remove(0))
+        };
+        // Wall times differ run to run; compare the deterministic fields.
+        let fingerprint = |rec: &crate::telemetry::CellRecord| {
+            (
+                rec.failures.clone(),
+                rec.evals,
+                rec.per_temp.clone(),
+                rec.per_instance
+                    .iter()
+                    .map(|i| (i.index, i.seed, i.reduction.to_bits(), i.evals, i.stop))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        let (seq_total, seq_rec) = run(1);
+        for threads in [2, 3, 8] {
+            let (par_total, par_rec) = run(threads);
+            assert_eq!(seq_total, par_total, "{threads} threads");
+            assert_eq!(fingerprint(&seq_rec), fingerprint(&par_rec));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "injected failure")]
+    fn disabled_log_fails_fast_on_instance_panic() {
+        let set = mixed_set();
+        let _ = set.run_method(
+            &poisoned_spec(),
+            Strategy::Figure1,
+            Budget::evaluations(500),
+        );
+    }
+
+    #[test]
+    fn clean_cell_record_is_consistent() {
+        let set = tiny_set();
+        let roster = full_roster(TunedY::default());
+        let spec = &roster[3]; // g = 1
+        let log = TelemetryLog::in_memory();
+        let key = CellKey::new("test", spec.name(), "2000 evals");
+        let total = set.run_cell(
+            key,
+            spec,
+            Strategy::Figure1,
+            Budget::evaluations(2_000),
+            1,
+            &log,
+        );
+        let r = log.records().remove(0);
+        assert!(r.ok());
+        assert_eq!(r.instances, 4);
+        assert_eq!(r.per_instance.len(), 4);
+        assert_eq!(r.stops_budget + r.stops_equilibrium, 4);
+        assert_eq!(r.reduction, total);
+        assert!(r.evals > 0);
+        assert!(r.wall_ms > 0.0);
+        assert!(!r.per_temp.is_empty());
+        // Per-temperature evals add up to the cell total.
+        let per_temp_evals: u64 = r.per_temp.iter().map(|t| t.evals).sum();
+        assert_eq!(per_temp_evals, r.evals);
+        assert_eq!(r.strategy, "Figure1");
+        assert_eq!(r.budget, "2000 evals");
+        // Matches the plain (un-logged) runner exactly.
+        assert_eq!(
+            total,
+            set.run_method(spec, Strategy::Figure1, Budget::evaluations(2_000))
+        );
     }
 }

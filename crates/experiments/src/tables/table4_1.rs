@@ -10,9 +10,17 @@ use crate::instances::gola_paper_set;
 use crate::roster::full_roster;
 use crate::runner::ArrangementSet;
 use crate::table::Table;
+use crate::telemetry::{CellKey, TelemetryLog};
 
 /// Regenerates Table 4.1.
 pub fn run(config: &SuiteConfig) -> Table {
+    run_logged(config, &TelemetryLog::disabled())
+}
+
+/// [`run`] with per-cell telemetry and fault isolation: each cell records a
+/// [`CellRecord`](crate::telemetry::CellRecord) into `log`, and a panicking
+/// cell is logged as failed while the rest of the table completes.
+pub fn run_logged(config: &SuiteConfig, log: &TelemetryLog) -> Table {
     let problems = gola_paper_set(config.seed);
     let set = ArrangementSet::with_random_starts(problems, config.seed);
 
@@ -37,7 +45,17 @@ pub fn run(config: &SuiteConfig) -> Table {
     for spec in full_roster(config.tuned) {
         let values = PAPER_SECONDS
             .iter()
-            .map(|&s| set.run_method(&spec, Strategy::Figure1, config.scale.vax_seconds(s)))
+            .zip(&columns)
+            .map(|(&s, column)| {
+                set.run_cell(
+                    CellKey::new("table4.1", spec.name(), column.clone()),
+                    &spec,
+                    Strategy::Figure1,
+                    config.scale.vax_seconds(s),
+                    config.threads,
+                    log,
+                )
+            })
             .collect();
         table.push_row(spec.name(), values);
     }

@@ -10,9 +10,16 @@ use crate::instances::gola_paper_set;
 use crate::roster::reduced_roster;
 use crate::runner::ArrangementSet;
 use crate::table::Table;
+use crate::telemetry::{CellKey, TelemetryLog};
 
 /// Regenerates Table 4.2(a).
 pub fn run(config: &SuiteConfig) -> Table {
+    run_logged(config, &TelemetryLog::disabled())
+}
+
+/// [`run`] with per-cell telemetry and fault isolation (see
+/// [`table4_1::run_logged`](crate::tables::table4_1::run_logged)).
+pub fn run_logged(config: &SuiteConfig, log: &TelemetryLog) -> Table {
     let problems = gola_paper_set(config.seed);
     let set = ArrangementSet::with_goto_starts(problems, config.seed);
 
@@ -27,13 +34,23 @@ pub fn run(config: &SuiteConfig) -> Table {
             set.start_density_sum()
         ),
         "g function",
-        columns,
+        columns.clone(),
     );
 
     for spec in reduced_roster(config.tuned) {
         let values = PAPER_SECONDS
             .iter()
-            .map(|&s| set.run_method(&spec, Strategy::Figure1, config.scale.vax_seconds(s)))
+            .zip(&columns)
+            .map(|(&s, column)| {
+                set.run_cell(
+                    CellKey::new("table4.2a", spec.name(), column.clone()),
+                    &spec,
+                    Strategy::Figure1,
+                    config.scale.vax_seconds(s),
+                    config.threads,
+                    log,
+                )
+            })
             .collect();
         table.push_row(spec.name(), values);
     }

@@ -10,9 +10,16 @@ use crate::instances::gola_paper_set;
 use crate::roster::reduced_roster;
 use crate::runner::ArrangementSet;
 use crate::table::Table;
+use crate::telemetry::{CellKey, TelemetryLog};
 
 /// Regenerates Table 4.2(b).
 pub fn run(config: &SuiteConfig) -> Table {
+    run_logged(config, &TelemetryLog::disabled())
+}
+
+/// [`run`] with per-cell telemetry and fault isolation (see
+/// [`table4_1::run_logged`](crate::tables::table4_1::run_logged)).
+pub fn run_logged(config: &SuiteConfig, log: &TelemetryLog) -> Table {
     let problems = gola_paper_set(config.seed);
     let set = ArrangementSet::with_random_starts(problems, config.seed);
     let budget = config.scale.vax_seconds(PAPER_SECONDS_42B);
@@ -28,8 +35,21 @@ pub fn run(config: &SuiteConfig) -> Table {
     );
 
     for spec in reduced_roster(config.tuned) {
-        let fig1 = set.run_method(&spec, Strategy::Figure1, budget);
-        let fig2 = set.run_method(&spec, Strategy::Figure2, budget);
+        let [fig1, fig2] = [Strategy::Figure1, Strategy::Figure2].map(|strategy| {
+            let column = if strategy == Strategy::Figure1 {
+                "Figure 1"
+            } else {
+                "Figure 2"
+            };
+            set.run_cell(
+                CellKey::new("table4.2b", spec.name(), column),
+                &spec,
+                strategy,
+                budget,
+                config.threads,
+                log,
+            )
+        });
         table.push_row(spec.name(), vec![fig1, fig2]);
     }
     table

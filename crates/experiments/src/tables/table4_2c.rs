@@ -10,9 +10,16 @@ use crate::instances::nola_paper_set;
 use crate::roster::reduced_roster;
 use crate::runner::ArrangementSet;
 use crate::table::Table;
+use crate::telemetry::{CellKey, TelemetryLog};
 
 /// Regenerates Table 4.2(c).
 pub fn run(config: &SuiteConfig) -> Table {
+    run_logged(config, &TelemetryLog::disabled())
+}
+
+/// [`run`] with per-cell telemetry and fault isolation (see
+/// [`table4_1::run_logged`](crate::tables::table4_1::run_logged)).
+pub fn run_logged(config: &SuiteConfig, log: &TelemetryLog) -> Table {
     let problems = nola_paper_set(config.seed);
     let set = ArrangementSet::with_random_starts(problems, config.seed);
 
@@ -27,7 +34,7 @@ pub fn run(config: &SuiteConfig) -> Table {
             set.start_density_sum()
         ),
         "g function",
-        columns,
+        columns.clone(),
     );
 
     // §4.3.1 compares against [GOTO77] on NOLA as well.
@@ -37,11 +44,15 @@ pub fn run(config: &SuiteConfig) -> Table {
     for spec in reduced_roster(config.tuned) {
         let values = PAPER_SECONDS
             .iter()
-            .map(|&s| {
-                set.run_method(
+            .zip(&columns)
+            .map(|(&s, column)| {
+                set.run_cell(
+                    CellKey::new("table4.2c", spec.name(), column.clone()),
                     &spec,
                     Strategy::Figure1,
                     config.scale.vax_seconds(s).scale_div(NOLA_EVAL_COST),
+                    config.threads,
+                    log,
                 )
             })
             .collect();

@@ -1,0 +1,591 @@
+//! Cell-level telemetry for the experiment harness.
+//!
+//! Every table cell (method × budget column, summed over the instance set)
+//! can emit one [`CellRecord`]: identity, wall time, evaluation counts, the
+//! acceptance breakdown aggregated per temperature, compact per-instance
+//! rows, and any instance panics caught by the fault-isolated runner. A
+//! [`TelemetryLog`] collects records in memory and optionally streams each
+//! one as a JSON line, so a multi-hour table run leaves a triageable trace
+//! even if it is interrupted — and a single bad cell is a recorded failure
+//! instead of a lost run.
+//!
+//! The JSON is hand-rolled (this workspace builds with no registry access,
+//! so there is no serde); the format is documented in EXPERIMENTS.md and
+//! exercised by tests below.
+
+use std::fmt;
+use std::io::Write;
+use std::sync::Mutex;
+
+use anneal_core::{AdvanceReason, Budget, RunTelemetry};
+
+/// Identity of one table cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellKey {
+    /// Table name (e.g. `"table4.1"`).
+    pub table: String,
+    /// Method row label (e.g. `"g = 1"`).
+    pub method: String,
+    /// Budget/strategy column label (e.g. `"12 sec"`).
+    pub column: String,
+}
+
+impl CellKey {
+    /// A cell key from its three labels.
+    pub fn new(
+        table: impl Into<String>,
+        method: impl Into<String>,
+        column: impl Into<String>,
+    ) -> Self {
+        CellKey {
+            table: table.into(),
+            method: method.into(),
+            column: column.into(),
+        }
+    }
+}
+
+impl fmt::Display for CellKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} / {} / {}", self.table, self.method, self.column)
+    }
+}
+
+/// One instance's contribution to a cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceRecord {
+    /// Instance index within the set.
+    pub index: usize,
+    /// The chain seed the run used (reproduces the run on its own).
+    pub seed: u64,
+    /// Cost reduction achieved.
+    pub reduction: f64,
+    /// Evaluations charged.
+    pub evals: u64,
+    /// Wall-clock milliseconds.
+    pub wall_ms: f64,
+    /// Stop reason (`"budget"` or `"equilibrium"`).
+    pub stop: &'static str,
+    /// Downhill acceptances.
+    pub accepted_downhill: u64,
+    /// Uphill acceptances.
+    pub accepted_uphill: u64,
+    /// Uphill rejections.
+    pub rejected_uphill: u64,
+}
+
+/// Per-temperature counters aggregated over a cell's instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TempAggregate {
+    /// Temperature index.
+    pub temp: usize,
+    /// Evaluations across instances at this temperature.
+    pub evals: u64,
+    /// Downhill acceptances.
+    pub accepted_downhill: u64,
+    /// Uphill acceptances.
+    pub accepted_uphill: u64,
+    /// Uphill rejections.
+    pub rejected_uphill: u64,
+    /// Stages that ended by budget exhaustion.
+    pub ended_budget: u64,
+    /// Stages that ended by the equilibrium criterion.
+    pub ended_equilibrium: u64,
+}
+
+/// A caught instance panic inside a cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellFailure {
+    /// Instance index that panicked.
+    pub instance: usize,
+    /// The chain seed of the panicking run.
+    pub seed: u64,
+    /// The panic payload, if it was a string.
+    pub message: String,
+}
+
+/// The telemetry record for one table cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellRecord {
+    /// Cell identity.
+    pub key: CellKey,
+    /// Strategy name (`"Figure1"`, `"Figure2"`, `"Rejectionless"`).
+    pub strategy: String,
+    /// Per-instance budget (e.g. `"1500 evals"`).
+    pub budget: String,
+    /// The instance set's base seed.
+    pub base_seed: u64,
+    /// Number of instances attempted.
+    pub instances: usize,
+    /// Total reduction over completed instances (the table cell value).
+    pub reduction: f64,
+    /// Total evaluations over completed instances.
+    pub evals: u64,
+    /// Total wall-clock milliseconds over completed instances.
+    pub wall_ms: f64,
+    /// Downhill acceptances over completed instances.
+    pub accepted_downhill: u64,
+    /// Uphill acceptances over completed instances.
+    pub accepted_uphill: u64,
+    /// Uphill rejections over completed instances.
+    pub rejected_uphill: u64,
+    /// Completed instances that stopped on budget exhaustion.
+    pub stops_budget: usize,
+    /// Completed instances that stopped on the equilibrium criterion.
+    pub stops_equilibrium: usize,
+    /// Acceptance breakdown aggregated per temperature index.
+    pub per_temp: Vec<TempAggregate>,
+    /// Compact per-instance rows.
+    pub per_instance: Vec<InstanceRecord>,
+    /// Caught panics; empty means the cell completed cleanly.
+    pub failures: Vec<CellFailure>,
+}
+
+impl CellRecord {
+    /// Whether every instance completed without panicking.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Folds one completed instance run into the aggregates.
+    pub(crate) fn absorb(&mut self, index: usize, seed: u64, telemetry: &RunTelemetry) {
+        self.reduction += telemetry.reduction;
+        self.evals += telemetry.evals;
+        let wall_ms = telemetry.wall.as_secs_f64() * 1e3;
+        self.wall_ms += wall_ms;
+        let (mut ad, mut au, mut ru) = (0, 0, 0);
+        for stage in &telemetry.per_temp {
+            ad += stage.accepted_downhill;
+            au += stage.accepted_uphill;
+            ru += stage.rejected_uphill;
+            if self.per_temp.len() <= stage.temp {
+                self.per_temp
+                    .resize(stage.temp + 1, TempAggregate::default());
+                for (i, agg) in self.per_temp.iter_mut().enumerate() {
+                    agg.temp = i;
+                }
+            }
+            let agg = &mut self.per_temp[stage.temp];
+            agg.evals += stage.evals;
+            agg.accepted_downhill += stage.accepted_downhill;
+            agg.accepted_uphill += stage.accepted_uphill;
+            agg.rejected_uphill += stage.rejected_uphill;
+            match stage.ended_by {
+                AdvanceReason::Budget => agg.ended_budget += 1,
+                AdvanceReason::Equilibrium => agg.ended_equilibrium += 1,
+            }
+        }
+        self.accepted_downhill += ad;
+        self.accepted_uphill += au;
+        self.rejected_uphill += ru;
+        match telemetry.stop {
+            anneal_core::StopReason::Budget => self.stops_budget += 1,
+            anneal_core::StopReason::Equilibrium => self.stops_equilibrium += 1,
+        }
+        self.per_instance.push(InstanceRecord {
+            index,
+            seed,
+            reduction: telemetry.reduction,
+            evals: telemetry.evals,
+            wall_ms,
+            stop: telemetry.stop.as_str(),
+            accepted_downhill: ad,
+            accepted_uphill: au,
+            rejected_uphill: ru,
+        });
+    }
+
+    /// An empty record for `key`, before any instance has been absorbed.
+    pub(crate) fn empty(key: CellKey, strategy: String, budget: Budget, base_seed: u64) -> Self {
+        CellRecord {
+            key,
+            strategy,
+            budget: budget.to_string(),
+            base_seed,
+            instances: 0,
+            reduction: 0.0,
+            evals: 0,
+            wall_ms: 0.0,
+            accepted_downhill: 0,
+            accepted_uphill: 0,
+            rejected_uphill: 0,
+            stops_budget: 0,
+            stops_equilibrium: 0,
+            per_temp: Vec::new(),
+            per_instance: Vec::new(),
+            failures: Vec::new(),
+        }
+    }
+
+    /// The record as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(512);
+        s.push('{');
+        push_str_field(&mut s, "table", &self.key.table);
+        push_str_field(&mut s, "method", &self.key.method);
+        push_str_field(&mut s, "column", &self.key.column);
+        push_str_field(&mut s, "strategy", &self.strategy);
+        push_str_field(&mut s, "budget", &self.budget);
+        push_raw_field(&mut s, "base_seed", &self.base_seed.to_string());
+        push_raw_field(&mut s, "instances", &self.instances.to_string());
+        push_raw_field(&mut s, "reduction", &json_f64(self.reduction));
+        push_raw_field(&mut s, "evals", &self.evals.to_string());
+        push_raw_field(&mut s, "wall_ms", &json_f64(self.wall_ms));
+        push_raw_field(
+            &mut s,
+            "accepted_downhill",
+            &self.accepted_downhill.to_string(),
+        );
+        push_raw_field(&mut s, "accepted_uphill", &self.accepted_uphill.to_string());
+        push_raw_field(&mut s, "rejected_uphill", &self.rejected_uphill.to_string());
+        push_raw_field(&mut s, "stops_budget", &self.stops_budget.to_string());
+        push_raw_field(
+            &mut s,
+            "stops_equilibrium",
+            &self.stops_equilibrium.to_string(),
+        );
+        push_raw_field(&mut s, "ok", if self.ok() { "true" } else { "false" });
+
+        s.push_str("\"per_temp\":[");
+        for (i, t) in self.per_temp.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"temp\":{},\"evals\":{},\"accepted_downhill\":{},\"accepted_uphill\":{},\
+                 \"rejected_uphill\":{},\"ended_budget\":{},\"ended_equilibrium\":{}}}",
+                t.temp,
+                t.evals,
+                t.accepted_downhill,
+                t.accepted_uphill,
+                t.rejected_uphill,
+                t.ended_budget,
+                t.ended_equilibrium
+            ));
+        }
+        s.push_str("],");
+
+        s.push_str("\"per_instance\":[");
+        for (i, r) in self.per_instance.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"instance\":{},\"seed\":{},\"reduction\":{},\"evals\":{},\"wall_ms\":{},\
+                 \"stop\":\"{}\",\"accepted_downhill\":{},\"accepted_uphill\":{},\
+                 \"rejected_uphill\":{}}}",
+                r.index,
+                r.seed,
+                json_f64(r.reduction),
+                r.evals,
+                json_f64(r.wall_ms),
+                r.stop,
+                r.accepted_downhill,
+                r.accepted_uphill,
+                r.rejected_uphill
+            ));
+        }
+        s.push_str("],");
+
+        s.push_str("\"failures\":[");
+        for (i, fail) in self.failures.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"instance\":{},\"seed\":{},\"message\":\"{}\"}}",
+                fail.instance,
+                fail.seed,
+                escape_json(&fail.message)
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+fn push_str_field(s: &mut String, key: &str, value: &str) {
+    s.push_str(&format!("\"{}\":\"{}\",", key, escape_json(value)));
+}
+
+fn push_raw_field(s: &mut String, key: &str, value: &str) {
+    s.push_str(&format!("\"{key}\":{value},"));
+}
+
+/// JSON has no NaN/Infinity; map them to null.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A sink for [`CellRecord`]s: in-memory collection plus an optional
+/// streaming JSON-lines writer. Thread-safe — the parallel runner records
+/// from worker threads.
+pub struct TelemetryLog {
+    enabled: bool,
+    inner: Mutex<Inner>,
+}
+
+struct Inner {
+    records: Vec<CellRecord>,
+    writer: Option<Box<dyn Write + Send>>,
+}
+
+impl fmt::Debug for TelemetryLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TelemetryLog")
+            .field("enabled", &self.enabled)
+            .finish()
+    }
+}
+
+impl TelemetryLog {
+    /// A log that records nothing (and lets runner panics propagate).
+    pub fn disabled() -> Self {
+        TelemetryLog {
+            enabled: false,
+            inner: Mutex::new(Inner {
+                records: Vec::new(),
+                writer: None,
+            }),
+        }
+    }
+
+    /// A log collecting records in memory.
+    pub fn in_memory() -> Self {
+        TelemetryLog {
+            enabled: true,
+            inner: Mutex::new(Inner {
+                records: Vec::new(),
+                writer: None,
+            }),
+        }
+    }
+
+    /// A log that additionally streams each record as one JSON line to
+    /// `writer` (flushed per record, so an interrupted run keeps its trace).
+    pub fn with_writer(writer: Box<dyn Write + Send>) -> Self {
+        TelemetryLog {
+            enabled: true,
+            inner: Mutex::new(Inner {
+                records: Vec::new(),
+                writer: Some(writer),
+            }),
+        }
+    }
+
+    /// Whether records are being collected.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one cell. No-op when disabled.
+    pub fn record(&self, record: CellRecord) {
+        if !self.enabled {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("telemetry log poisoned");
+        if let Some(w) = inner.writer.as_mut() {
+            // Telemetry must never take down the run it is observing:
+            // report write errors but keep going.
+            let line = record.to_json();
+            if let Err(e) = writeln!(w, "{line}").and_then(|()| w.flush()) {
+                eprintln!("telemetry: write failed: {e}");
+            }
+        }
+        inner.records.push(record);
+    }
+
+    /// Snapshot of every record so far.
+    pub fn records(&self) -> Vec<CellRecord> {
+        self.inner
+            .lock()
+            .expect("telemetry log poisoned")
+            .records
+            .clone()
+    }
+
+    /// The end-of-suite summary over every record so far.
+    pub fn summary(&self) -> SuiteSummary {
+        let records = self.records();
+        let mut slowest: Vec<(CellKey, f64, u64)> = records
+            .iter()
+            .map(|r| (r.key.clone(), r.wall_ms, r.evals))
+            .collect();
+        slowest.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite wall times"));
+        slowest.truncate(5);
+        SuiteSummary {
+            cells: records.len(),
+            total_evals: records.iter().map(|r| r.evals).sum(),
+            total_wall_ms: records.iter().map(|r| r.wall_ms).sum(),
+            failed: records
+                .iter()
+                .filter(|r| !r.ok())
+                .map(|r| (r.key.clone(), r.failures.clone()))
+                .collect(),
+            slowest,
+        }
+    }
+}
+
+/// End-of-suite triage summary: what ran, what was slow, what broke.
+#[derive(Debug, Clone)]
+pub struct SuiteSummary {
+    /// Cells recorded.
+    pub cells: usize,
+    /// Evaluations across all cells.
+    pub total_evals: u64,
+    /// Wall-clock milliseconds across all cells (sums instance runs, so
+    /// parallel runs show more than elapsed time).
+    pub total_wall_ms: f64,
+    /// Failed cells with their caught panics.
+    pub failed: Vec<(CellKey, Vec<CellFailure>)>,
+    /// The slowest cells, hottest first: `(cell, wall_ms, evals)`.
+    pub slowest: Vec<(CellKey, f64, u64)>,
+}
+
+impl fmt::Display for SuiteSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "telemetry: {} cells, {} failed, {} evals, {:.1} s of chain time",
+            self.cells,
+            self.failed.len(),
+            self.total_evals,
+            self.total_wall_ms / 1e3
+        )?;
+        if !self.slowest.is_empty() {
+            writeln!(f, "slowest cells:")?;
+            for (key, wall_ms, evals) in &self.slowest {
+                writeln!(f, "  {key} — {:.1} ms, {evals} evals", wall_ms)?;
+            }
+        }
+        if !self.failed.is_empty() {
+            writeln!(f, "FAILED cells:")?;
+            for (key, failures) in &self.failed {
+                for fail in failures {
+                    writeln!(
+                        f,
+                        "  {key} — instance {} (seed {}): {}",
+                        fail.instance, fail.seed, fail.message
+                    )?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex as StdMutex};
+
+    fn record(table: &str, wall_ms: f64, failed: bool) -> CellRecord {
+        let mut r = CellRecord::empty(
+            CellKey::new(table, "g = 1", "6 sec"),
+            "Figure1".into(),
+            Budget::evaluations(1500),
+            1985,
+        );
+        r.instances = 2;
+        r.wall_ms = wall_ms;
+        r.evals = 3000;
+        if failed {
+            r.failures.push(CellFailure {
+                instance: 1,
+                seed: 7,
+                message: "boom \"quoted\"\nline2".into(),
+            });
+        }
+        r
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let json = record("t", 1.5, true).to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"table\":\"t\""));
+        assert!(json.contains("\"ok\":false"));
+        assert!(json.contains("\\\"quoted\\\""), "{json}");
+        assert!(json.contains("\\n"), "{json}");
+        assert!(!json.contains('\n'), "must be a single line");
+        // Balanced braces/brackets (cheap well-formedness check).
+        let open = json.matches('{').count();
+        let close = json.matches('}').count();
+        assert_eq!(open, close);
+    }
+
+    #[test]
+    fn nonfinite_values_become_null() {
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(2.5), "2.5");
+    }
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let log = TelemetryLog::disabled();
+        log.record(record("t", 1.0, false));
+        assert!(log.records().is_empty());
+        assert!(!log.is_enabled());
+    }
+
+    #[test]
+    fn writer_receives_one_line_per_record() {
+        #[derive(Clone)]
+        struct Shared(Arc<StdMutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let buf = Shared(Arc::new(StdMutex::new(Vec::new())));
+        let log = TelemetryLog::with_writer(Box::new(buf.clone()));
+        log.record(record("a", 1.0, false));
+        log.record(record("b", 2.0, true));
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+
+    #[test]
+    fn summary_ranks_slowest_and_collects_failures() {
+        let log = TelemetryLog::in_memory();
+        for (t, w) in [("t1", 5.0), ("t2", 50.0), ("t3", 20.0)] {
+            log.record(record(t, w, false));
+        }
+        log.record(record("bad", 1.0, true));
+        let summary = log.summary();
+        assert_eq!(summary.cells, 4);
+        assert_eq!(summary.failed.len(), 1);
+        assert_eq!(summary.slowest[0].0.table, "t2");
+        assert_eq!(summary.total_evals, 4 * 3000);
+        let shown = summary.to_string();
+        assert!(shown.contains("FAILED"));
+        assert!(shown.contains("instance 1"));
+    }
+}

@@ -86,7 +86,6 @@ impl std::error::Error for BuildNetlistError {}
 /// # Ok::<(), anneal_netlist::BuildNetlistError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Netlist {
     n_elements: usize,
     nets: Vec<Vec<u32>>,

@@ -5,7 +5,6 @@ use crate::model::Netlist;
 
 /// Aggregate statistics of a netlist.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NetlistStats {
     /// Number of elements.
     pub n_elements: usize,

@@ -210,8 +210,8 @@ mod tests {
         let inst = TspInstance::random_euclidean(15, &mut rng);
         let mut t = Tour::random(&inst, &mut rng);
         for _ in 0..300 {
-            let i = rng.random_range(0..15);
-            let j = rng.random_range(0..15);
+            let i = rng.random_range(0..15usize);
+            let j = rng.random_range(0..15usize);
             let (i, j) = (i.min(j), i.max(j));
             t.apply_two_opt(&inst, i, j);
             assert!(t.verify(&inst), "after reversing {i}..={j}");

@@ -1,0 +1,539 @@
+//! Vendored stand-in for the `proptest` crate.
+//!
+//! The workspace builds in fully offline environments with no reachable
+//! registry, so the subset of the proptest API its property tests use is
+//! reimplemented here on top of the vendored [`rand`] crate:
+//!
+//! * [`Strategy`] with `prop_map`, `prop_flat_map`, `boxed`, implemented for
+//!   numeric ranges, tuples, [`Just`], [`any`] and [`BoxedStrategy`];
+//! * the [`proptest!`] macro (including the `#![proptest_config(..)]` inner
+//!   attribute and [`ProptestConfig::with_cases`]);
+//! * [`prop_assert!`], [`prop_assert_eq!`] and [`prop_oneof!`].
+//!
+//! Differences from real proptest, deliberately accepted: no shrinking (a
+//! failing case reports its generated inputs and seed instead of a minimal
+//! counterexample), no persisted regression files (case seeds are a pure
+//! function of the test name and case index, so failures reproduce on every
+//! run), and uniform rather than weighted `prop_oneof!`.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SampleRange, SeedableRng, Standard};
+
+/// The generator handed to strategies.
+pub type TestRng = StdRng;
+
+/// A failed property check (produced by [`prop_assert!`] and friends).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Runner configuration. Only the case count is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; these tests drive whole annealing
+        // runs per case, so the default here is a little smaller. Override
+        // per-block with `#![proptest_config(ProptestConfig::with_cases(n))]`
+        // or globally with the PROPTEST_CASES environment variable.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type. `Debug` so failing inputs can be reported.
+    type Value: fmt::Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// A strategy applying `f` to every generated value.
+    fn prop_map<U: fmt::Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// A strategy generating from a second strategy built from the first's
+    /// value.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: fmt::Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<V>(Box<dyn DynStrategy<V>>);
+
+trait DynStrategy<V> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+impl<V: fmt::Debug> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// The strategy behind [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Standard + fmt::Debug> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.random()
+    }
+}
+
+/// A strategy over `T`'s full standard domain (all bit patterns for
+/// integers, a fair coin for `bool`, `[0, 1)` for floats).
+pub fn any<T: Standard + fmt::Debug>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! impl_strategy_for_range {
+    ($range:ident) => {
+        impl<T> Strategy for std::ops::$range<T>
+        where
+            T: fmt::Debug + Clone,
+            std::ops::$range<T>: SampleRange<T>,
+        {
+            type Value = T;
+            fn generate(&self, rng: &mut TestRng) -> T {
+                rng.random_range(self.clone())
+            }
+        }
+    };
+}
+impl_strategy_for_range!(Range);
+impl_strategy_for_range!(RangeInclusive);
+
+macro_rules! impl_strategy_for_tuple {
+    ($($s:ident/$idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_strategy_for_tuple!(A / 0);
+impl_strategy_for_tuple!(A / 0, B / 1);
+impl_strategy_for_tuple!(A / 0, B / 1, C / 2);
+impl_strategy_for_tuple!(A / 0, B / 1, C / 2, D / 3);
+impl_strategy_for_tuple!(A / 0, B / 1, C / 2, D / 3, E / 4);
+impl_strategy_for_tuple!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+
+/// Uniform choice among boxed alternatives — the engine behind
+/// [`prop_oneof!`].
+pub struct Union<V>(pub Vec<BoxedStrategy<V>>);
+
+impl<V: fmt::Debug> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        assert!(!self.0.is_empty(), "prop_oneof! needs at least one arm");
+        let idx = rng.random_range(0..self.0.len());
+        self.0[idx].generate(rng)
+    }
+}
+
+/// Length bounds for collection strategies; converts from `usize`,
+/// `Range<usize>` and `RangeInclusive<usize>`.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeBounds {
+    /// Minimum length (inclusive).
+    pub min: usize,
+    /// Maximum length (inclusive).
+    pub max: usize,
+}
+
+impl From<usize> for SizeBounds {
+    fn from(n: usize) -> Self {
+        SizeBounds { min: n, max: n }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeBounds {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeBounds {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeBounds {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeBounds {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+/// Strategies for collections.
+pub mod collection {
+    use super::{SizeBounds, Strategy, TestRng};
+    use rand::RngExt;
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeBounds,
+    }
+
+    /// A strategy for `Vec`s of `element` values with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeBounds>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Strategies that sample from existing collections.
+pub mod sample {
+    use super::{SizeBounds, Strategy, TestRng};
+    use rand::RngExt;
+    use std::fmt;
+
+    /// See [`subsequence`].
+    pub struct Subsequence<T> {
+        values: Vec<T>,
+        size: SizeBounds,
+    }
+
+    /// A strategy choosing a random subsequence of `values` — distinct
+    /// elements in their original order — with length in `size`.
+    pub fn subsequence<T: Clone + fmt::Debug>(
+        values: Vec<T>,
+        size: impl Into<SizeBounds>,
+    ) -> Subsequence<T> {
+        let size = size.into();
+        assert!(
+            size.max <= values.len(),
+            "subsequence bound {} exceeds source length {}",
+            size.max,
+            values.len()
+        );
+        Subsequence { values, size }
+    }
+
+    impl<T: Clone + fmt::Debug> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+            let len = rng.random_range(self.size.min..=self.size.max);
+            // Partial Fisher–Yates over the index set, then restore source
+            // order.
+            let mut idx: Vec<usize> = (0..self.values.len()).collect();
+            for i in 0..len {
+                let j = rng.random_range(i..idx.len());
+                idx.swap(i, j);
+            }
+            let mut chosen = idx[..len].to_vec();
+            chosen.sort_unstable();
+            chosen.into_iter().map(|i| self.values[i].clone()).collect()
+        }
+    }
+}
+
+/// The test driver invoked by [`proptest!`]-generated tests.
+pub fn run_property<F>(name: &str, config: &ProptestConfig, body: F)
+where
+    F: Fn(&mut TestRng) -> Result<String, (String, TestCaseError)>,
+{
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(config.cases);
+    for case in 0..cases {
+        let mut rng = case_rng(name, case);
+        if let Err((inputs, err)) = body(&mut rng) {
+            panic!(
+                "property `{name}` failed at case {case}/{cases}: {err}\n\
+                 inputs: {inputs}\n\
+                 (deterministic: rerun reproduces this case)"
+            );
+        }
+    }
+}
+
+/// Case seeds are a pure function of (test name, case index): failures
+/// reproduce on every run with no regression files.
+fn case_rng(name: &str, case: u32) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng::seed_from_u64(h ^ (((case as u64) << 32) | 0x9E37_79B9))
+}
+
+/// Defines property tests.
+///
+/// In test code each function carries `#[test]` as usual (omitted here so
+/// the doctest stays a plain function):
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// # addition_commutes();
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    // NB: the `@cfg` arm must precede the catch-all arm — macro arms are
+    // tried in order, and the catch-all matches `@cfg ...` invocations too
+    // (re-wrapping them forever).
+    (@cfg ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($arg:pat_param in $strat:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                $crate::run_property(stringify!($name), &config, |rng| {
+                    // Values are formatted before destructuring so tuple
+                    // patterns like `(a, b) in strat()` report their inputs.
+                    #[allow(unused_mut)]
+                    let mut inputs = String::new();
+                    $(
+                        let $arg = {
+                            let value = $crate::Strategy::generate(&($strat), rng);
+                            inputs.push_str(concat!(stringify!($arg), " = "));
+                            inputs.push_str(&format!("{:?}, ", &value));
+                            value
+                        };
+                    )*
+                    let inputs = inputs;
+                    let result: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    match result {
+                        Ok(()) => Ok(inputs),
+                        Err(e) => Err((inputs, e)),
+                    }
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), format!($($fmt)*), l, r
+        );
+    }};
+}
+
+/// Uniform choice among strategies yielding the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+pub mod prelude {
+    //! The customary glob import.
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn ranges_generate_in_bounds(x in 10u64..20, y in 0.0f64..1.0) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((0.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(
+            v in (1usize..5, 0u32..10).prop_map(|(a, b)| a * b as usize),
+            w in prop_oneof![Just(1u8), Just(2u8), 5u8..=6],
+        ) {
+            prop_assert!(v < 50);
+            prop_assert!(w == 1 || w == 2 || w == 5 || w == 6);
+        }
+
+        #[test]
+        fn flat_map_uses_first_stage(n in 2usize..6) {
+            // Defining the property over a derived strategy inline:
+            let _derived = (0..n).len();
+            prop_assert_eq!(_derived, n);
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_inputs() {
+        let caught = std::panic::catch_unwind(|| {
+            crate::run_property("always_fails", &ProptestConfig::with_cases(3), |_rng| {
+                Err(("x = 1, ".to_string(), TestCaseError::fail("boom")))
+            });
+        });
+        let msg = *caught
+            .expect_err("must panic")
+            .downcast::<String>()
+            .unwrap();
+        assert!(msg.contains("always_fails"), "{msg}");
+        assert!(msg.contains("boom"), "{msg}");
+        assert!(msg.contains("x = 1"), "{msg}");
+    }
+
+    #[test]
+    fn case_rngs_are_deterministic_and_distinct() {
+        use rand::Rng;
+        let a = crate::case_rng("t", 0).next_u64();
+        let b = crate::case_rng("t", 0).next_u64();
+        let c = crate::case_rng("t", 1).next_u64();
+        let d = crate::case_rng("u", 0).next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+}

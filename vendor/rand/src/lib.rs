@@ -1,0 +1,380 @@
+//! Vendored stand-in for the `rand` crate.
+//!
+//! This workspace builds in fully offline environments where no crates.io
+//! registry (or mirror) is reachable, so the subset of the `rand 0.10` API
+//! the workspace uses is vendored here as a dependency-free local crate:
+//!
+//! * [`Rng`] — the object-safe core trait (`next_u64`/`next_u32`), usable as
+//!   `&mut dyn Rng`.
+//! * [`RngExt`] — the extension trait with the ergonomic samplers
+//!   (`random_range`, `random_bool`, `random`), blanket-implemented for every
+//!   `Rng` including trait objects.
+//! * [`SeedableRng`] and [`rngs::StdRng`] — deterministic seeding. `StdRng`
+//!   is xoshiro256++ seeded through SplitMix64; it is *not* the same stream
+//!   as crates.io `StdRng`, which is fine because the workspace treats the
+//!   generator as an opaque deterministic stream and records its own
+//!   expected values.
+//!
+//! Everything is deterministic: there is no OS-entropy constructor at all,
+//! which doubles as a guard against accidentally non-reproducible
+//! experiments.
+
+use std::ops::{Range, RangeInclusive};
+
+/// An object-safe source of randomness.
+///
+/// Only the two word-level primitives live here so the trait stays
+/// object-safe; all ergonomic samplers are on [`RngExt`].
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits (upper half of [`next_u64`](Rng::next_u64)).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        R::next_u64(self)
+    }
+    fn next_u32(&mut self) -> u32 {
+        R::next_u32(self)
+    }
+}
+
+/// Types that can be sampled uniformly from their full value range by
+/// [`RngExt::random`].
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample_standard(rng: &mut (impl Rng + ?Sized)) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard(rng: &mut (impl Rng + ?Sized)) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample_standard(rng: &mut (impl Rng + ?Sized)) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample_standard(rng: &mut (impl Rng + ?Sized)) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample_standard(rng: &mut (impl Rng + ?Sized)) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Ranges accepted by [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_from(self, rng: &mut (impl Rng + ?Sized)) -> T;
+}
+
+/// Unbiased uniform integer in `[0, span)` via Lemire's widening-multiply
+/// rejection method. `span` must be nonzero.
+fn uniform_below(rng: &mut (impl Rng + ?Sized), span: u64) -> u64 {
+    debug_assert!(span > 0);
+    let mut m = (rng.next_u64() as u128) * (span as u128);
+    let mut lo = m as u64;
+    if lo < span {
+        // Threshold = 2^64 mod span; rejecting below it removes the bias.
+        let t = span.wrapping_neg() % span;
+        while lo < t {
+            m = (rng.next_u64() as u128) * (span as u128);
+            lo = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from(self, rng: &mut (impl Rng + ?Sized)) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from(self, rng: &mut (impl Rng + ?Sized)) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full u64 domain: every draw is in range.
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from(self, rng: &mut (impl Rng + ?Sized)) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let unit = <$t as Standard>::sample_standard(rng);
+                let v = self.start + (self.end - self.start) * unit;
+                // Guard against `end` itself under round-off.
+                if v >= self.end { self.start } else { v }
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from(self, rng: &mut (impl Rng + ?Sized)) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                let unit = <$t as Standard>::sample_standard(rng);
+                start + (end - start) * unit
+            }
+        }
+    )*};
+}
+impl_sample_range_float!(f32, f64);
+
+/// Ergonomic sampling methods, available on every [`Rng`] (including
+/// `dyn Rng`).
+pub trait RngExt: Rng {
+    /// A uniform value over `T`'s standard distribution (full integer range,
+    /// `[0, 1)` for floats, fair coin for `bool`).
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// A uniform value in `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rand::{rngs::StdRng, RngExt, SeedableRng};
+    /// let mut rng = StdRng::seed_from_u64(7);
+    /// let x = rng.random_range(10..20);
+    /// assert!((10..20).contains(&x));
+    /// let y = rng.random_range(0.0..1.0);
+    /// assert!((0.0..1.0).contains(&y));
+    /// ```
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Deterministic construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full-width seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanding it with SplitMix64 (the
+    /// conventional seeding scheme for xoshiro-family generators).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut sm = state;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let x = splitmix64(&mut sm);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{splitmix64, Rng, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++.
+    ///
+    /// Fast, 256-bit state, passes BigCrush; entirely deterministic from its
+    /// seed. Not a cryptographic generator (none is needed here).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            if s == [0; 4] {
+                // The all-zero state is a fixed point of xoshiro; remap it.
+                let mut sm = 0x853C_49E6_748F_EA9B;
+                for w in &mut s {
+                    *w = splitmix64(&mut sm);
+                }
+            }
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn zero_seed_is_not_a_fixed_point() {
+        let mut r = StdRng::from_seed([0; 32]);
+        let draws: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        assert!(draws.iter().any(|&x| x != 0));
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: usize = rng.random_range(0..15);
+            assert!(x < 15);
+            let y: u64 = rng.random_range(5..=9);
+            assert!((5..=9).contains(&y));
+            let z: f64 = rng.random_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&z));
+            let w: i64 = rng.random_range(-10..10);
+            assert!((-10..10).contains(&w));
+        }
+    }
+
+    #[test]
+    fn single_value_ranges() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(rng.random_range(3..4), 3);
+        assert_eq!(rng.random_range(7..=7), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _: u32 = rng.random_range(5..5);
+    }
+
+    #[test]
+    fn random_bool_respects_extremes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            assert!(!rng.random_bool(0.0));
+            assert!(rng.random_bool(1.0));
+        }
+    }
+
+    #[test]
+    fn random_bool_is_roughly_fair() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let heads = (0..10_000).filter(|_| rng.random_bool(0.5)).count();
+        assert!((4_500..=5_500).contains(&heads), "heads = {heads}");
+    }
+
+    #[test]
+    fn uniform_range_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut counts = [0u32; 8];
+        for _ in 0..8_000 {
+            counts[rng.random_range(0usize..8)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((800..=1_200).contains(&c), "bucket {i} = {c}");
+        }
+    }
+
+    #[test]
+    fn works_through_dyn_rng() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let dyn_rng: &mut dyn Rng = &mut rng;
+        let x = dyn_rng.random_range(0..100);
+        assert!(x < 100);
+        let _: f64 = dyn_rng.random();
+        let _ = dyn_rng.random_bool(0.25);
+    }
+
+    #[test]
+    fn standard_floats_are_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..1000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            let y: f32 = rng.random();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+}
