@@ -50,7 +50,7 @@ pub enum Form {
     /// `(e^{Y/(h(j)-h(i))} - 1)/(e - 1)` — classes 16 and 20. A zero
     /// difference yields probability 1.
     ExpDifference,
-    /// [COHO83a]'s board-permutation function `min(h(i)/(m+5), 0.9)` where
+    /// \[COHO83a\]'s board-permutation function `min(h(i)/(m+5), 0.9)` where
     /// `m` is the number of nets in the instance (§4.2.2). The schedule value
     /// is ignored.
     Coho83a {

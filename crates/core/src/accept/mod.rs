@@ -1,9 +1,9 @@
 //! Acceptance functions ("g functions", §3 of the paper).
 //!
 //! A [`GFunction`] bundles a functional [`Form`], a temperature
-//! [`Schedule`](crate::Schedule) and an optional rejection-counter [`Gate`],
+//! [`Schedule`] and an optional rejection-counter [`Gate`],
 //! and provides constructors for all 20 classes enumerated in §3 plus the
-//! [COHO83a] baseline used in §4.2.2.
+//! \[COHO83a\] baseline used in §4.2.2.
 //!
 //! | # | Class | Constructor |
 //! |---|-------|-------------|
@@ -19,7 +19,7 @@
 //! | 16 | Exponential Diff | [`GFunction::exp_difference`] |
 //! | 17–19 | 6 Linear / Quadratic / Cubic Diff | [`GFunction::poly_difference_six`] |
 //! | 20 | 6 Exponential Diff | [`GFunction::exp_difference_six`] |
-//! | — | [COHO83a] | [`GFunction::coho83a`] |
+//! | — | \[COHO83a\] | [`GFunction::coho83a`] |
 
 mod form;
 mod gate;
@@ -57,18 +57,65 @@ pub struct GFunction {
     form: Form,
     schedule: Schedule,
     gate: Option<Gate>,
+    /// Per-temperature decision fast path, rebuilt whenever the form or
+    /// schedule changes. Purely an evaluation shortcut: every branch makes
+    /// exactly the decision (and consumes exactly the random draws) the
+    /// general `Form::probability` path would.
+    fast: Vec<FastDecision>,
+}
+
+/// The precomputed decision strategy for one temperature index.
+#[derive(Debug, Clone, Copy)]
+enum FastDecision {
+    /// The scheduled probability is identically 1 (e.g. `g = 1`): accept,
+    /// routing strictly-uphill moves through the gate. Never draws.
+    AlwaysOne,
+    /// A cost-independent probability below 1 (e.g. two-level g's second
+    /// level): downhill accepts free, anything else is one cached-threshold
+    /// coin flip.
+    Coin(f64),
+    /// Boltzmann at the cached temperature: flat and downhill moves accept
+    /// without evaluating `exp()`; strictly-uphill moves compute the
+    /// identical `e^{-dh/y}` expression the general path would.
+    Boltzmann(f64),
+    /// Cost-dependent forms: defer to `Form::probability`.
+    General,
+}
+
+fn classify(form: Form, y: f64) -> FastDecision {
+    match form {
+        Form::Boltzmann => FastDecision::Boltzmann(y),
+        Form::Constant => {
+            let p = y.clamp(0.0, 1.0);
+            if p >= 1.0 {
+                FastDecision::AlwaysOne
+            } else {
+                FastDecision::Coin(p)
+            }
+        }
+        _ => FastDecision::General,
+    }
 }
 
 impl GFunction {
     /// A custom acceptance function. Prefer the named constructors for the
     /// paper's classes.
     pub fn new(name: impl Into<String>, form: Form, schedule: Schedule) -> Self {
-        GFunction {
+        let mut g = GFunction {
             name: name.into(),
             form,
             schedule,
             gate: None,
-        }
+            fast: Vec::new(),
+        };
+        g.rebuild_fast();
+        g
+    }
+
+    fn rebuild_fast(&mut self) {
+        self.fast = (0..self.schedule.len())
+            .map(|t| classify(self.form, self.schedule.value(t)))
+            .collect();
     }
 
     // ----- the paper's classes -------------------------------------------
@@ -88,7 +135,7 @@ impl GFunction {
         )
     }
 
-    /// Boltzmann acceptance over an arbitrary schedule (e.g. [GOLD84]'s
+    /// Boltzmann acceptance over an arbitrary schedule (e.g. \[GOLD84\]'s
     /// 25-point uniform schedule).
     pub fn annealing(schedule: Schedule) -> Self {
         Self::new("Annealing", Form::Boltzmann, schedule)
@@ -193,7 +240,7 @@ impl GFunction {
         )
     }
 
-    /// The [COHO83a] acceptance function `g(h) = min(h/(m+5), 0.9)` for an
+    /// The \[COHO83a\] acceptance function `g(h) = min(h/(m+5), 0.9)` for an
     /// instance with `m` nets (§4.2.2).
     pub fn coho83a(m: usize) -> Self {
         Self::new(
@@ -208,12 +255,14 @@ impl GFunction {
     /// Replaces the schedule (used by the tuner to rescale temperatures).
     pub fn with_schedule(mut self, schedule: Schedule) -> Self {
         self.schedule = schedule;
+        self.rebuild_fast();
         self
     }
 
     /// Rescales every temperature by `factor` (§4.2.1 tuning).
     pub fn scaled(mut self, factor: f64) -> Self {
         self.schedule = self.schedule.scaled(factor);
+        self.rebuild_fast();
         self
     }
 
@@ -294,23 +343,88 @@ impl GFunction {
     /// counter untouched. This matters for objectives like the arrangement
     /// density, where most perturbations do not change the maximum.
     pub fn decide_figure1(&mut self, t: usize, h_i: f64, h_j: f64, rng: &mut dyn Rng) -> bool {
-        let p = self.probability(t, h_i, h_j);
-        if p >= 1.0 {
-            if h_j > h_i {
-                if let Some(g) = &mut self.gate {
-                    return g.on_uphill();
+        // Every fast-path branch reproduces the general path bit for bit:
+        // the same decision from the same number of random draws.
+        let p = match self.fast[t] {
+            FastDecision::AlwaysOne => {
+                if h_j > h_i {
+                    if let Some(g) = &mut self.gate {
+                        return g.on_uphill();
+                    }
                 }
+                return true;
             }
-            return true;
-        }
+            FastDecision::Coin(p) => {
+                if h_j < h_i {
+                    return true;
+                }
+                p
+            }
+            FastDecision::Boltzmann(y) => {
+                let dh = h_j - h_i;
+                // Flat moves skip exp(): e^{∓0/y} is exactly 1 for y ≠ 0.
+                // (y = 0 falls through so 0/0 → NaN rejects as always.)
+                if dh < 0.0 || (dh == 0.0 && y != 0.0) {
+                    return true;
+                }
+                let p = (-dh / y).exp();
+                if p >= 1.0 {
+                    if h_j > h_i {
+                        if let Some(g) = &mut self.gate {
+                            return g.on_uphill();
+                        }
+                    }
+                    return true;
+                }
+                p
+            }
+            FastDecision::General => {
+                let p = self.probability(t, h_i, h_j);
+                if p >= 1.0 {
+                    if h_j > h_i {
+                        if let Some(g) = &mut self.gate {
+                            return g.on_uphill();
+                        }
+                    }
+                    return true;
+                }
+                p
+            }
+        };
         rng.random_range(0.0..1.0) < p
     }
 
     /// Figure-2 uphill decision: plain `r < g_t(h(i), h(j))`; the gate is
     /// never consulted ("no special considerations are needed", §3).
     pub fn decide_figure2(&mut self, t: usize, h_i: f64, h_j: f64, rng: &mut dyn Rng) -> bool {
-        let p = self.probability(t, h_i, h_j);
-        p >= 1.0 || rng.random_range(0.0..1.0) < p
+        let p = match self.fast[t] {
+            FastDecision::AlwaysOne => return true,
+            FastDecision::Coin(p) => {
+                if h_j < h_i {
+                    return true;
+                }
+                p
+            }
+            FastDecision::Boltzmann(y) => {
+                let dh = h_j - h_i;
+                if dh < 0.0 || (dh == 0.0 && y != 0.0) {
+                    return true;
+                }
+                let p = (-dh / y).exp();
+                if p >= 1.0 {
+                    return true;
+                }
+                p
+            }
+            FastDecision::General => {
+                let p = self.probability(t, h_i, h_j);
+                if p >= 1.0 {
+                    return true;
+                }
+                p
+            }
+        };
+        rng.random_range(0.0..1.0) < p
     }
 }
 
@@ -444,6 +558,97 @@ mod tests {
             .count();
         let rate = accepted as f64 / trials as f64;
         assert!((rate - p).abs() < 0.02, "rate {rate} ≉ p {p}");
+    }
+
+    /// The pre-cache decision procedure, kept verbatim as the semantic
+    /// reference for the fast paths.
+    fn reference_decide_figure1(
+        g: &mut GFunction,
+        t: usize,
+        h_i: f64,
+        h_j: f64,
+        rng: &mut dyn Rng,
+    ) -> bool {
+        let p = g.probability(t, h_i, h_j);
+        if p >= 1.0 {
+            if h_j > h_i {
+                if let Some(gate) = &mut g.gate {
+                    return gate.on_uphill();
+                }
+            }
+            return true;
+        }
+        rng.random_range(0.0..1.0) < p
+    }
+
+    fn reference_decide_figure2(
+        g: &mut GFunction,
+        t: usize,
+        h_i: f64,
+        h_j: f64,
+        rng: &mut dyn Rng,
+    ) -> bool {
+        let p = g.probability(t, h_i, h_j);
+        p >= 1.0 || rng.random_range(0.0..1.0) < p
+    }
+
+    #[test]
+    fn fast_paths_match_general_semantics() {
+        // Every class, both strategies: the cached fast paths must return
+        // the same decisions AND consume the same number of random draws as
+        // the general probability-then-compare procedure. The lockstep
+        // next_u64 comparison each round catches any draw-count divergence
+        // immediately.
+        let classes: Vec<GFunction> = vec![
+            GFunction::metropolis(1.5),
+            GFunction::six_temp_annealing(2.0),
+            GFunction::unit(),
+            GFunction::two_level(),
+            GFunction::poly_current(2, 1e-4),
+            GFunction::exp_current(100.0),
+            GFunction::poly_difference(3, 0.4),
+            GFunction::exp_difference(0.7),
+            GFunction::coho83a(150),
+            GFunction::metropolis(1e-300), // near-degenerate temperature
+        ];
+        let deltas = [-3.0, -1.0, 0.0, 0.0, 0.0, 1.0, 2.0, 5.0, 40.0];
+        for proto in classes {
+            for figure2 in [false, true] {
+                let mut fast_g = proto.clone();
+                let mut ref_g = proto.clone();
+                let mut rng_a = StdRng::seed_from_u64(99);
+                let mut rng_b = StdRng::seed_from_u64(99);
+                let mut costs = StdRng::seed_from_u64(7);
+                for step in 0..2000usize {
+                    let t = step % proto.temperatures();
+                    let h_i = costs.random_range(1..100) as f64;
+                    let h_j = h_i + deltas[costs.random_range(0..deltas.len())];
+                    let (a, b) = if figure2 {
+                        (
+                            fast_g.decide_figure2(t, h_i, h_j, &mut rng_a),
+                            reference_decide_figure2(&mut ref_g, t, h_i, h_j, &mut rng_b),
+                        )
+                    } else {
+                        (
+                            fast_g.decide_figure1(t, h_i, h_j, &mut rng_a),
+                            reference_decide_figure1(&mut ref_g, t, h_i, h_j, &mut rng_b),
+                        )
+                    };
+                    assert_eq!(
+                        a,
+                        b,
+                        "{} t={t} h_i={h_i} h_j={h_j} figure2={figure2}",
+                        proto.name()
+                    );
+                    assert_eq!(
+                        rng_a.next_u64(),
+                        rng_b.next_u64(),
+                        "{} diverged in rng consumption at step {step}",
+                        proto.name()
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -18,7 +18,7 @@ pub enum Strategy {
     Figure1,
     /// Figure 2: descend to a local optimum, then kick uphill.
     Figure2,
-    /// [GREE84]: weigh every neighbor, sample one — no rejections. Requires
+    /// \[GREE84\]: weigh every neighbor, sample one — no rejections. Requires
     /// [`Problem::all_moves`].
     Rejectionless,
 }

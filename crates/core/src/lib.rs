@@ -14,13 +14,13 @@
 //!   with a random-perturbation neighborhood;
 //! * the two control strategies, [`Figure1`] (Metropolis/Kirkpatrick chain)
 //!   and [`Figure2`] (local-opt-then-kick, after Cohoon & Sahni);
-//! * all 20 acceptance-function classes of §3 plus the [COHO83a] baseline,
+//! * all 20 acceptance-function classes of §3 plus the \[COHO83a\] baseline,
 //!   as [`GFunction`] constructors;
 //! * temperature [`Schedule`]s (single, geometric/Kirkpatrick, uniform/GOLD84);
 //! * equal-cost comparison via [`Budget`]s counted in cost evaluations;
-//! * a §4.2.1-style temperature [`Tuner`](tune::Tuner);
+//! * a §4.2.1-style temperature [`tune::Tuner`];
 //! * plain local search and the time-equalized [`multistart`](local::multistart)
-//!   baseline protocol of [LIN73]/[GOLD84].
+//!   baseline protocol of \[LIN73\]/\[GOLD84\].
 //!
 //! # Quick start
 //!

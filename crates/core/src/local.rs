@@ -1,8 +1,8 @@
 //! Plain local search: descent to a local optimum and the time-equalized
 //! multistart protocol used as a Monte-Carlo-free baseline.
 //!
-//! [GOLD84] compared simulated annealing against the 2-opt heuristic of
-//! [LIN73] by giving 2-opt "enough starting random tours to make its run time
+//! \[GOLD84\] compared simulated annealing against the 2-opt heuristic of
+//! \[LIN73\] by giving 2-opt "enough starting random tours to make its run time
 //! comparable to that of simulated annealing" (§2). [`multistart`] implements
 //! exactly that protocol generically: repeat (random state → descend) until
 //! the shared budget runs out, keeping the best local optimum.

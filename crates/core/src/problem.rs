@@ -116,13 +116,26 @@ pub trait Problem {
     /// Enumerates the complete perturbation neighborhood of `state`.
     ///
     /// Required only by the rejectionless strategy of
-    /// [`Rejectionless`](crate::strategy::Rejectionless) ([GREE84]), which
+    /// [`Rejectionless`](crate::strategy::Rejectionless) (\[GREE84\]), which
     /// must weigh *every* neighbor at each step. The default returns an
     /// empty vector, which the rejectionless strategy treats as "not
     /// supported" and reports by stopping immediately.
     fn all_moves(&self, state: &Self::State) -> Vec<Self::Move> {
         let _ = state;
         Vec::new()
+    }
+
+    /// Fills `buf` with the complete perturbation neighborhood of `state`,
+    /// clearing it first.
+    ///
+    /// The rejectionless strategy calls this once per step with a reused
+    /// buffer, so implementations that override it (appending to `buf`
+    /// instead of building a fresh vector) avoid a per-step allocation. The
+    /// default delegates to [`all_moves`](Problem::all_moves), so overriding
+    /// either method is sufficient.
+    fn all_moves_into(&self, state: &Self::State, buf: &mut Vec<Self::Move>) {
+        buf.clear();
+        buf.extend(self.all_moves(state));
     }
 }
 

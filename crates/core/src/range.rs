@@ -29,7 +29,7 @@ pub struct DeltaStats {
 }
 
 /// Samples `samples` random perturbations from random states of `problem`
-/// and collects the delta statistics [WHIT84]'s scales are built from.
+/// and collects the delta statistics \[WHIT84\]'s scales are built from.
 ///
 /// # Panics
 ///

@@ -62,7 +62,7 @@ impl Schedule {
         Self::explicit(values)
     }
 
-    /// [GOLD84]'s schedule: `k` evenly spaced points in `(0, tau)`, highest
+    /// \[GOLD84\]'s schedule: `k` evenly spaced points in `(0, tau)`, highest
     /// first — `tau·k/(k+1), …, tau·1/(k+1)`.
     ///
     /// # Panics

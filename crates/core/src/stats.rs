@@ -134,7 +134,7 @@ impl<S> RunResult<S> {
     /// Total cost reduction achieved: `initial_cost - best_cost`.
     ///
     /// This is the metric summed over 30 instances in the paper's tables
-    /// ("total reduction in [density] values").
+    /// ("total reduction in \[density\] values").
     pub fn reduction(&self) -> f64 {
         self.initial_cost - self.best_cost
     }

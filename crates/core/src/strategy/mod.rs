@@ -5,12 +5,12 @@
 //!   probability `g_temp`, equilibrium counter advancing the temperature.
 //! * [`Figure2`] — the Cohoon/Sahni variant: descend to a local optimum
 //!   first, then attempt uphill kicks.
-//! * [`Rejectionless`] — the Greene/Supowit [GREE84] variant discussed in
+//! * [`Rejectionless`] — the Greene/Supowit \[GREE84\] variant discussed in
 //!   §2: weigh every neighbor and sample one, so no step is wasted on a
 //!   rejection (at the cost of evaluating the whole neighborhood).
 //!
 //! Both strategies charge every cost evaluation against a shared
-//! [`Budget`](crate::Budget) split evenly over the temperature schedule, so
+//! [`Budget`] split evenly over the temperature schedule, so
 //! methods can be compared at equal computational cost (§3).
 
 mod fig1;

@@ -23,7 +23,7 @@ use crate::budget::Budget;
 use crate::problem::Problem;
 use crate::stats::{RunResult, StopReason};
 
-/// The [GREE84] rejectionless strategy.
+/// The \[GREE84\] rejectionless strategy.
 ///
 /// Requires the problem to implement [`Problem::all_moves`]; with the
 /// default empty neighborhood the run stops immediately (zero evaluations).
@@ -61,12 +61,15 @@ impl Rejectionless {
         let initial_cost = cost;
         let mut run = Run::<P>::new(budget, k, self.trajectory_every, &state, cost);
 
+        // Neighborhood and weight buffers are reused across steps; problems
+        // overriding `all_moves_into` fill them with no per-step allocation.
+        let mut moves: Vec<P::Move> = Vec::new();
         let mut weights: Vec<f64> = Vec::new();
         let stop = loop {
             if run.meter.exhausted() && !run.advance_temp(true) {
                 break StopReason::Budget;
             }
-            let moves = problem.all_moves(&state);
+            problem.all_moves_into(&state, &mut moves);
             if moves.is_empty() {
                 // Neighborhood enumeration unsupported (or a degenerate
                 // instance): nothing to sample.

@@ -1,0 +1,84 @@
+//! `bench` — times the named hot-path kernels and writes `BENCH_core.json`.
+//!
+//! ```text
+//! bench [--out PATH] [--quick] [--sample-size N] [--filter SUBSTR] [--list]
+//! ```
+//!
+//! Prints one human-readable line per kernel to stdout and writes the
+//! machine-readable report (schema documented in `BENCHMARKS.md`) to
+//! `--out` (default `BENCH_core.json`). `--quick` switches to the smoke
+//! configuration used by CI: every kernel still runs, but with few samples
+//! and a short calibration target, so numbers are noisy. `--filter` limits
+//! the run to kernels whose name contains the substring; the report then
+//! covers only those kernels.
+
+use std::process::ExitCode;
+
+use anneal_experiments::bench::{git_rev, kernels, render_report, run_kernels};
+use criterion::MeasureConfig;
+
+fn usage() -> ! {
+    eprintln!("usage: bench [--out PATH] [--quick] [--sample-size N] [--filter SUBSTR] [--list]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut out = String::from("BENCH_core.json");
+    let mut cfg = MeasureConfig::default();
+    let mut filter: Option<String> = None;
+    let mut list_only = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out = args.next().unwrap_or_else(|| usage()),
+            "--quick" => {
+                let quick = MeasureConfig::quick();
+                cfg.min_sample_time = quick.min_sample_time;
+                cfg.max_iters = quick.max_iters;
+                cfg.sample_size = quick.sample_size;
+            }
+            "--sample-size" => {
+                cfg.sample_size = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--filter" => filter = Some(args.next().unwrap_or_else(|| usage())),
+            "--list" => list_only = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage()
+            }
+        }
+    }
+
+    if list_only {
+        for k in kernels() {
+            println!("{}", k.name);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let results = run_kernels(&cfg, filter.as_deref());
+    if results.is_empty() {
+        eprintln!("no kernel matches filter {filter:?}");
+        return ExitCode::FAILURE;
+    }
+    for r in &results {
+        println!(
+            "{}   {:>12.0} evals/s",
+            r.measurement.summary_line(),
+            r.evals_per_sec()
+        );
+    }
+
+    let report = render_report(&results, &git_rev(), &cfg);
+    if let Err(e) = std::fs::write(&out, report) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out} ({} kernels)", results.len());
+    ExitCode::SUCCESS
+}

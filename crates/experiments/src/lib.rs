@@ -34,6 +34,7 @@
 //! ```
 
 pub mod ablation;
+pub mod bench;
 mod budgetmap;
 mod config;
 pub mod diagnostics;

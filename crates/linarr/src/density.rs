@@ -116,6 +116,42 @@ impl CutProfile {
         }
     }
 
+    /// Recomputes the span of a single `net` after `arrangement` changed,
+    /// touching only the gaps in the symmetric difference of the old and new
+    /// span — the hot path of swap/relocate perturbations.
+    ///
+    /// All bookkeeping is integer arithmetic, so the resulting profile is
+    /// identical to a full remove/re-add of the net's span (the
+    /// `refresh_matches_update_nets` test pins this down).
+    pub fn refresh_net(&mut self, netlist: &Netlist, arrangement: &Arrangement, net: usize) {
+        let (old_lo, old_hi) = self.spans[net];
+        let new = Self::span_of(netlist, arrangement, net);
+        let (new_lo, new_hi) = new;
+        if (old_lo, old_hi) == new {
+            return;
+        }
+        self.spans[net] = new;
+        self.total_span += (new_hi - new_lo) as u64;
+        self.total_span -= (old_hi - old_lo) as u64;
+        if new_hi <= old_lo || old_hi <= new_lo {
+            // Disjoint gap ranges: plain remove + add.
+            self.uncover(old_lo, old_hi);
+            self.cover(new_lo, new_hi);
+        } else {
+            // Overlapping: gaps covered by both spans stay untouched.
+            if old_lo < new_lo {
+                self.uncover(old_lo, new_lo);
+            } else {
+                self.cover(new_lo, old_lo);
+            }
+            if new_hi < old_hi {
+                self.uncover(new_hi, old_hi);
+            } else {
+                self.cover(old_hi, new_hi);
+            }
+        }
+    }
+
     fn span_of(netlist: &Netlist, arrangement: &Arrangement, net: usize) -> (u32, u32) {
         let mut lo = u32::MAX;
         let mut hi = 0;
@@ -129,6 +165,17 @@ impl CutProfile {
 
     fn add_span(&mut self, (lo, hi): (u32, u32)) {
         self.total_span += (hi - lo) as u64;
+        self.cover(lo, hi);
+    }
+
+    fn remove_span(&mut self, (lo, hi): (u32, u32)) {
+        self.total_span -= (hi - lo) as u64;
+        self.uncover(lo, hi);
+    }
+
+    /// Increments the crossing count of gaps `lo..hi`, maintaining the
+    /// histogram and running maximum.
+    fn cover(&mut self, lo: u32, hi: u32) {
         for g in lo..hi {
             let c = self.cut[g as usize];
             self.hist[c as usize] -= 1;
@@ -140,8 +187,9 @@ impl CutProfile {
         }
     }
 
-    fn remove_span(&mut self, (lo, hi): (u32, u32)) {
-        self.total_span -= (hi - lo) as u64;
+    /// Decrements the crossing count of gaps `lo..hi`, maintaining the
+    /// histogram and running maximum.
+    fn uncover(&mut self, lo: u32, hi: u32) {
         for g in lo..hi {
             let c = self.cut[g as usize];
             debug_assert!(c > 0, "removing a span from an empty gap");
@@ -245,6 +293,38 @@ mod tests {
             nets.dedup();
             p.update_nets(&nl, &arr, nets.iter().copied());
             assert!(p.verify(&nl, &arr));
+        }
+    }
+
+    #[test]
+    fn refresh_matches_update_nets() {
+        // The symmetric-difference update must leave the profile in exactly
+        // the state a full remove/re-add would — same spans, cuts,
+        // histogram, max and total span (all integers, so bitwise).
+        let mut rng = StdRng::seed_from_u64(1985);
+        let nl = random_two_pin(15, 150, &mut rng);
+        let mut arr = Arrangement::random(15, &mut rng);
+        let mut fast = CutProfile::build(&nl, &arr);
+        let mut slow = fast.clone();
+        for _ in 0..500 {
+            let i = rng.random_range(0..15);
+            let j = rng.random_range(0..15);
+            let (a, b) = (arr.element_at(i), arr.element_at(j));
+            arr.swap_positions(i, j);
+            let mut nets: Vec<u32> = nl
+                .nets_of(a as usize)
+                .iter()
+                .chain(nl.nets_of(b as usize))
+                .copied()
+                .collect();
+            nets.sort_unstable();
+            nets.dedup();
+            for &net in &nets {
+                fast.refresh_net(&nl, &arr, net as usize);
+            }
+            slow.update_nets(&nl, &arr, nets.iter().copied());
+            assert_eq!(fast, slow);
+            assert!(fast.verify(&nl, &arr));
         }
     }
 

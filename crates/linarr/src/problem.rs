@@ -173,27 +173,32 @@ impl Problem for LinearArrangementProblem {
     }
 
     fn all_moves(&self, state: &ArrangedState) -> Vec<ArrMove> {
+        let mut moves = Vec::new();
+        self.all_moves_into(state, &mut moves);
+        moves
+    }
+
+    fn all_moves_into(&self, state: &ArrangedState, buf: &mut Vec<ArrMove>) {
+        buf.clear();
         let n = state.arrangement().len();
         match self.neighborhood {
             Neighborhood::PairwiseInterchange => {
-                let mut moves = Vec::with_capacity(n * (n - 1) / 2);
+                buf.reserve(n * (n - 1) / 2);
                 for p in 0..n {
                     for q in p + 1..n {
-                        moves.push(ArrMove::Swap(p, q));
+                        buf.push(ArrMove::Swap(p, q));
                     }
                 }
-                moves
             }
             Neighborhood::SingleExchange => {
-                let mut moves = Vec::with_capacity(n * (n - 1));
+                buf.reserve(n * (n - 1));
                 for from in 0..n {
                     for to in 0..n {
                         if from != to {
-                            moves.push(ArrMove::Relocate { from, to });
+                            buf.push(ArrMove::Relocate { from, to });
                         }
                     }
                 }
-                moves
             }
         }
     }

@@ -14,11 +14,22 @@ use crate::density::CutProfile;
 /// [`Problem`](anneal_core::Problem) owner holds it); every mutating method
 /// takes it as an argument, and it must be the netlist the state was built
 /// with.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct ArrangedState {
     arrangement: Arrangement,
     profile: CutProfile,
+    /// Reusable buffer for the affected-net set of a relocation; excluded
+    /// from equality so scratch contents never distinguish states.
+    scratch: Vec<u32>,
 }
+
+impl PartialEq for ArrangedState {
+    fn eq(&self, other: &Self) -> bool {
+        self.arrangement == other.arrangement && self.profile == other.profile
+    }
+}
+
+impl Eq for ArrangedState {}
 
 impl ArrangedState {
     /// Builds the state for `arrangement` under `netlist`.
@@ -31,6 +42,7 @@ impl ArrangedState {
         ArrangedState {
             arrangement,
             profile,
+            scratch: Vec::new(),
         }
     }
 
@@ -62,9 +74,40 @@ impl ArrangedState {
         let a = self.arrangement.element_at(p);
         let b = self.arrangement.element_at(q);
         self.arrangement.swap_positions(p, q);
-        let nets = merged_nets(netlist, &[a, b]);
-        self.profile
-            .update_nets(netlist, &self.arrangement, nets.iter().copied());
+        // Lockstep walk of the two sorted incident-net lists. A net
+        // incident to both endpoints keeps its pin-position set (only the
+        // element labels trade places), so its span is unchanged and it is
+        // skipped outright; the rest refresh without any allocation.
+        let na = netlist.nets_of(a as usize);
+        let nb = netlist.nets_of(b as usize);
+        let (mut i, mut j) = (0, 0);
+        while i < na.len() && j < nb.len() {
+            let (x, y) = (na[i], nb[j]);
+            match x.cmp(&y) {
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+                std::cmp::Ordering::Less => {
+                    i += 1;
+                    self.profile
+                        .refresh_net(netlist, &self.arrangement, x as usize);
+                }
+                std::cmp::Ordering::Greater => {
+                    j += 1;
+                    self.profile
+                        .refresh_net(netlist, &self.arrangement, y as usize);
+                }
+            }
+        }
+        for &net in &na[i..] {
+            self.profile
+                .refresh_net(netlist, &self.arrangement, net as usize);
+        }
+        for &net in &nb[j..] {
+            self.profile
+                .refresh_net(netlist, &self.arrangement, net as usize);
+        }
     }
 
     /// Moves the element at position `from` to position `to` (shifting the
@@ -73,30 +116,29 @@ impl ArrangedState {
         if from == to {
             return;
         }
-        // Every element in the shifted window changes position.
+        // Every element in the shifted window changes position; the window
+        // holds the same element set before and after, so the affected nets
+        // can be collected post-shift into the reusable scratch buffer.
         let (lo, hi) = if from < to { (from, to) } else { (to, from) };
-        let moved: Vec<u32> = (lo..=hi).map(|p| self.arrangement.element_at(p)).collect();
         self.arrangement.relocate(from, to);
-        let nets = merged_nets(netlist, &moved);
-        self.profile
-            .update_nets(netlist, &self.arrangement, nets.iter().copied());
+        self.scratch.clear();
+        for p in lo..=hi {
+            let e = self.arrangement.element_at(p);
+            self.scratch.extend_from_slice(netlist.nets_of(e as usize));
+        }
+        self.scratch.sort_unstable();
+        self.scratch.dedup();
+        for idx in 0..self.scratch.len() {
+            let net = self.scratch[idx];
+            self.profile
+                .refresh_net(netlist, &self.arrangement, net as usize);
+        }
     }
 
     /// Verifies the profile against a rebuild (test support).
     pub fn verify(&self, netlist: &Netlist) -> bool {
         self.profile.verify(netlist, &self.arrangement)
     }
-}
-
-/// Sorted, deduplicated union of the nets incident to `elements`.
-fn merged_nets(netlist: &Netlist, elements: &[u32]) -> Vec<u32> {
-    let mut nets: Vec<u32> = elements
-        .iter()
-        .flat_map(|&e| netlist.nets_of(e as usize).iter().copied())
-        .collect();
-    nets.sort_unstable();
-    nets.dedup();
-    nets
 }
 
 #[cfg(test)]

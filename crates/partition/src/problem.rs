@@ -103,14 +103,20 @@ impl Problem for PartitionProblem {
     }
 
     fn all_moves(&self, state: &PartitionState) -> Vec<SwapMove> {
+        let mut moves = Vec::new();
+        self.all_moves_into(state, &mut moves);
+        moves
+    }
+
+    fn all_moves_into(&self, state: &PartitionState, buf: &mut Vec<SwapMove>) {
+        buf.clear();
         let (a, b) = (state.members(0).len(), state.members(1).len());
-        let mut moves = Vec::with_capacity(a * b);
+        buf.reserve(a * b);
         for i0 in 0..a {
             for i1 in 0..b {
-                moves.push(SwapMove { i0, i1 });
+                buf.push(SwapMove { i0, i1 });
             }
         }
-        moves
     }
 
     fn improving_move(&self, state: &PartitionState, probes: &mut u64) -> Option<SwapMove> {

@@ -144,19 +144,25 @@ impl Problem for TspProblem {
         }
     }
 
-    fn all_moves(&self, _state: &Tour) -> Vec<TourMove> {
+    fn all_moves(&self, state: &Tour) -> Vec<TourMove> {
+        let mut moves = Vec::new();
+        self.all_moves_into(state, &mut moves);
+        moves
+    }
+
+    fn all_moves_into(&self, _state: &Tour, buf: &mut Vec<TourMove>) {
         // The 2-opt neighborhood, excluding the no-op whole-tour reversal.
+        buf.clear();
         let n = self.instance.n_cities();
-        let mut moves = Vec::with_capacity(n * (n - 1) / 2);
+        buf.reserve(n * (n - 1) / 2);
         for i in 0..n - 1 {
             for j in i + 1..n {
                 if i == 0 && j == n - 1 {
                     continue;
                 }
-                moves.push(TourMove::TwoOpt { i, j });
+                buf.push(TourMove::TwoOpt { i, j });
             }
         }
-        moves
     }
 
     fn improving_move(&self, state: &Tour, probes: &mut u64) -> Option<TourMove> {

@@ -79,8 +79,78 @@ impl Bencher {
     }
 }
 
-fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
-    // Calibration: find an iteration count that takes ≳1 ms per sample.
+/// Knobs for a programmatic [`measure`] call.
+#[derive(Debug, Clone)]
+pub struct MeasureConfig {
+    /// Number of timed samples collected after calibration.
+    pub sample_size: usize,
+    /// Calibration target: iterations per sample are grown until one
+    /// sample takes at least this long.
+    pub min_sample_time: Duration,
+    /// Upper bound on iterations per sample, regardless of calibration.
+    pub max_iters: u64,
+}
+
+impl Default for MeasureConfig {
+    fn default() -> Self {
+        MeasureConfig {
+            sample_size: 20,
+            min_sample_time: Duration::from_millis(1),
+            max_iters: 1 << 20,
+        }
+    }
+}
+
+impl MeasureConfig {
+    /// A fast configuration for smoke tests: few samples, short
+    /// calibration target. Numbers are noisy but every kernel still runs.
+    pub fn quick() -> Self {
+        MeasureConfig {
+            sample_size: 5,
+            min_sample_time: Duration::from_micros(50),
+            max_iters: 1 << 12,
+        }
+    }
+}
+
+/// The result of measuring one benchmark: summary statistics over the
+/// per-iteration timings of every sample.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark identifier.
+    pub id: String,
+    /// Median ns per iteration across samples (the headline number).
+    pub median_ns: f64,
+    /// Fastest sample, ns per iteration.
+    pub lo_ns: f64,
+    /// Slowest sample, ns per iteration.
+    pub hi_ns: f64,
+    /// Iterations executed per timed sample (after calibration).
+    pub iters_per_sample: u64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+impl Measurement {
+    /// Human-readable one-line summary, same shape `cargo bench` prints.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{:<50} {:>12} /iter  [{} .. {}]",
+            self.id,
+            fmt_ns(self.median_ns),
+            fmt_ns(self.lo_ns),
+            fmt_ns(self.hi_ns)
+        )
+    }
+}
+
+/// Measures `f` and returns the statistics instead of printing them.
+///
+/// Calibration first grows the per-sample iteration count until one
+/// sample meets `cfg.min_sample_time` (the calibration samples are
+/// discarded), then `cfg.sample_size` timed samples are collected.
+pub fn measure<F: FnMut(&mut Bencher)>(id: &str, cfg: &MeasureConfig, mut f: F) -> Measurement {
+    // Calibration: find an iteration count that out-resolves the clock.
     let mut iters = 1u64;
     loop {
         let mut b = Bencher {
@@ -89,7 +159,7 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F)
         };
         f(&mut b);
         let elapsed = b.samples.first().copied().unwrap_or(Duration::ZERO);
-        if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+        if elapsed >= cfg.min_sample_time || iters >= cfg.max_iters {
             break;
         }
         iters *= 4;
@@ -97,9 +167,9 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F)
 
     let mut b = Bencher {
         iters_per_sample: iters,
-        samples: Vec::with_capacity(sample_size),
+        samples: Vec::with_capacity(cfg.sample_size),
     };
-    for _ in 0..sample_size {
+    for _ in 0..cfg.sample_size {
         f(&mut b);
     }
     let mut per_iter: Vec<f64> = b
@@ -108,14 +178,22 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F)
         .map(|d| d.as_nanos() as f64 / iters as f64)
         .collect();
     per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
-    let median = per_iter[per_iter.len() / 2];
-    let (lo, hi) = (per_iter[0], per_iter[per_iter.len() - 1]);
-    println!(
-        "{id:<50} {:>12} /iter  [{} .. {}]",
-        fmt_ns(median),
-        fmt_ns(lo),
-        fmt_ns(hi)
-    );
+    Measurement {
+        id: id.to_string(),
+        median_ns: per_iter[per_iter.len() / 2],
+        lo_ns: per_iter[0],
+        hi_ns: per_iter[per_iter.len() - 1],
+        iters_per_sample: iters,
+        samples: per_iter.len(),
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, f: F) {
+    let cfg = MeasureConfig {
+        sample_size,
+        ..MeasureConfig::default()
+    };
+    println!("{}", measure(id, &cfg, f).summary_line());
 }
 
 fn fmt_ns(ns: f64) -> String {
@@ -164,6 +242,18 @@ mod tests {
         group.bench_function("count", |b| b.iter(|| calls += 1));
         group.finish();
         assert!(calls > 0);
+    }
+
+    #[test]
+    fn measure_returns_statistics() {
+        let m = measure("noop", &MeasureConfig::quick(), |b| {
+            b.iter(|| std::hint::black_box(1u64) + 1)
+        });
+        assert_eq!(m.id, "noop");
+        assert_eq!(m.samples, 5);
+        assert!(m.lo_ns <= m.median_ns && m.median_ns <= m.hi_ns);
+        assert!(m.iters_per_sample >= 1);
+        assert!(m.summary_line().contains("noop"));
     }
 
     #[test]
