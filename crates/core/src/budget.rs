@@ -88,11 +88,18 @@ impl std::fmt::Display for Budget {
 /// poll [`exhausted`](Meter::exhausted). For evaluation budgets the meter is
 /// fully deterministic; for wall-clock budgets it compares against a
 /// deadline.
+///
+/// A meter also honors any [`watchdog`](crate::watchdog) deadline armed on
+/// its constructing thread: once that deadline passes the meter reports
+/// itself exhausted regardless of remaining budget, so a runaway chain
+/// cannot hang its cell. Runs without an armed watchdog pay nothing.
 #[derive(Debug)]
 pub struct Meter {
     limit: Budget,
     evals: u64,
     started: Instant,
+    /// Watchdog deadline captured at construction (see [`crate::watchdog`]).
+    deadline: Option<Instant>,
 }
 
 impl Meter {
@@ -102,6 +109,7 @@ impl Meter {
             limit,
             evals: 0,
             started: Instant::now(),
+            deadline: crate::watchdog::deadline(),
         }
     }
 
@@ -115,12 +123,21 @@ impl Meter {
         self.evals
     }
 
-    /// Whether the budget is used up.
+    /// Whether the budget is used up (or an armed watchdog deadline has
+    /// passed).
     pub fn exhausted(&self) -> bool {
+        if self.timed_out() {
+            return true;
+        }
         match self.limit {
             Budget::Evaluations(n) => self.evals >= n,
             Budget::WallClock(d) => self.started.elapsed() >= d,
         }
+    }
+
+    /// Whether a watchdog deadline armed at construction has passed.
+    pub fn timed_out(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 
     /// Remaining evaluations, if this is an evaluation budget.
@@ -218,6 +235,31 @@ mod tests {
         std::thread::sleep(Duration::from_millis(35));
         assert!(m.exhausted());
         assert_eq!(m.evals(), 1_000_000, "evals are still counted");
+    }
+
+    #[test]
+    fn watchdog_deadline_overrides_eval_budget() {
+        let free = Meter::new(Budget::evaluations(u64::MAX));
+        assert!(!free.exhausted() && !free.timed_out());
+        let _guard = crate::watchdog::arm(Duration::ZERO);
+        let m = Meter::new(Budget::evaluations(u64::MAX));
+        assert!(m.timed_out());
+        assert!(m.exhausted(), "expired watchdog exhausts any budget");
+        drop(_guard);
+        // Meters capture the deadline at construction; disarming the
+        // watchdog does not resurrect an already-timed-out meter, but new
+        // meters are unaffected.
+        assert!(!Meter::new(Budget::evaluations(5)).timed_out());
+    }
+
+    #[test]
+    fn unexpired_watchdog_leaves_budget_semantics_alone() {
+        let _guard = crate::watchdog::arm(Duration::from_secs(3600));
+        let mut m = Meter::new(Budget::evaluations(2));
+        assert!(!m.exhausted());
+        m.charge(2);
+        assert!(m.exhausted(), "evaluation budget still applies");
+        assert!(!m.timed_out());
     }
 
     #[test]

@@ -67,6 +67,7 @@ mod stats;
 pub mod strategy;
 pub mod telemetry;
 pub mod tune;
+pub mod watchdog;
 
 pub use accept::{Form, GFunction, Gate, KIRKPATRICK_RATIO, PAPER_GATE_PERIOD};
 pub use annealer::{Annealer, Strategy};

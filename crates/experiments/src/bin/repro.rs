@@ -22,132 +22,138 @@
 //!   --seed N          base seed (default 1985)
 //!   --csv             emit CSV instead of aligned text
 //!   --threads N       OS threads per table cell (default 1; totals identical)
-//!   --telemetry PATH  stream one JSON-lines record per table cell to PATH,
-//!                     isolate cell panics as failed cells, and print an
-//!                     end-of-suite summary (slowest cells, total evals,
-//!                     failed cells) to stderr; see EXPERIMENTS.md
+//!   --telemetry PATH  stream the telemetry WAL (one JSON-lines record per
+//!                     table cell) to PATH, isolate cell panics as failed
+//!                     cells, and print an end-of-suite summary to stderr
+//!   --resume WAL      replay completed cells from a prior run's WAL; only
+//!                     missing or failed cells are recomputed, and the
+//!                     finished tables are bitwise-identical to a clean run
+//!   --faults SPEC     deterministic fault injection, e.g.
+//!                     "seed=7,panic=0.05,io=0.02,delay=0.1,delay_ms=200"
+//!                     (also via the ANNEAL_FAULTS environment variable)
+//!   --retries N       attempts per cell before it is recorded as failed
+//!                     (default 1 = no retries)
+//!   --backoff-ms N    base delay before a retry, doubled per attempt
+//!   --watchdog-ms N   per-instance wall-clock deadline; see EXPERIMENTS.md
+//!
+//! Exit status: 0 on success, 1 on usage errors, 2 when the suite is
+//! degraded (failed cells or lost telemetry records) — a failure manifest
+//! is written next to the WAL in that case.
 //! ```
 
 use std::process::ExitCode;
 
 use anneal_experiments::{
-    ablation, diagnostics, ext_partition, ext_tsp, tables, trajectory, tuning, SuiteConfig, Table,
-    TelemetryLog,
+    ablation, checkpoint, cli, diagnostics, ext_partition, ext_tsp, tables, trajectory, tuning,
+    ChaosWriter, FaultPlan, SuiteConfig, Table, TelemetryLog,
 };
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("error: {msg}");
-            eprintln!(
-                "usage: repro [--scale N] [--seed N] [--csv] [--threads N] \
-                 [--telemetry PATH] <experiment>..."
-            );
-            eprintln!(
-                "experiments: tuning table4.1 table4.2a table4.2b table4.2c table4.2d \
-                 partition tsp ablation trajectory diagnostics all"
-            );
+            eprintln!("{}", cli::USAGE);
+            eprintln!("experiments: {} all", cli::EXPERIMENTS.join(" "));
             ExitCode::FAILURE
         }
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
-    let mut config = SuiteConfig::paper();
-    let mut csv = false;
-    let mut telemetry_path: Option<String> = None;
-    let mut experiments: Vec<String> = Vec::new();
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let parsed = cli::parse(args)?;
+    let config = parsed.config;
 
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--scale" => {
-                let v = it.next().ok_or("--scale needs a value")?;
-                let n: u64 = v.parse().map_err(|_| format!("bad --scale value `{v}`"))?;
-                if n == 0 {
-                    return Err("--scale must be positive".into());
-                }
-                config = SuiteConfig {
-                    scale: anneal_experiments::Scale::new(n),
-                    ..config
-                };
-            }
-            "--seed" => {
-                let v = it.next().ok_or("--seed needs a value")?;
-                let seed: u64 = v.parse().map_err(|_| format!("bad --seed value `{v}`"))?;
-                config = config.with_seed(seed);
-            }
-            "--threads" => {
-                let v = it.next().ok_or("--threads needs a value")?;
-                let n: usize = v
-                    .parse()
-                    .map_err(|_| format!("bad --threads value `{v}`"))?;
-                if n == 0 {
-                    return Err("--threads must be positive".into());
-                }
-                config = config.with_threads(n);
-            }
-            "--telemetry" => {
-                let v = it.next().ok_or("--telemetry needs a path")?;
-                telemetry_path = Some(v.clone());
-            }
-            "--csv" => csv = true,
-            other if other.starts_with('-') => {
-                return Err(format!("unknown option `{other}`"));
-            }
-            exp => experiments.push(exp.to_string()),
-        }
-    }
-
-    let log = match &telemetry_path {
-        Some(path) => {
-            let file = std::fs::File::create(path)
-                .map_err(|e| format!("cannot create telemetry file `{path}`: {e}"))?;
-            TelemetryLog::with_writer(Box::new(std::io::BufWriter::new(file)))
-        }
-        None => TelemetryLog::disabled(),
+    // The CLI flag wins over the environment so a chaos run can be narrowed
+    // from a shell that exports ANNEAL_FAULTS globally.
+    let faults = match parsed.faults {
+        Some(plan) => Some(plan),
+        None => FaultPlan::from_env()?,
     };
 
-    if experiments.is_empty() {
-        return Err("no experiment given".into());
-    }
-    if experiments.iter().any(|e| e == "all") {
-        experiments = [
-            "tuning",
-            "table4.1",
-            "table4.2a",
-            "table4.2b",
-            "table4.2c",
-            "table4.2d",
-            "partition",
-            "tsp",
-            "ablation",
-            "trajectory",
-            "diagnostics",
-        ]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
-    }
+    let resumed = match &parsed.resume {
+        Some(path) => {
+            let checkpoint = checkpoint::load(path)?;
+            if checkpoint.torn {
+                eprintln!("resume: dropped a torn final record in {path} (interrupted write)");
+            }
+            match &checkpoint.meta {
+                Some(meta) if meta.seed != config.seed || meta.scale != config.scale.divisor => {
+                    eprintln!(
+                        "resume: WAL {path} was recorded at seed {} scale {}, current run \
+                         uses seed {} scale {}; ignoring its cells",
+                        meta.seed, meta.scale, config.seed, config.scale.divisor
+                    );
+                    Vec::new()
+                }
+                _ => {
+                    let ok = checkpoint.cells.iter().filter(|c| c.ok()).count();
+                    eprintln!(
+                        "resume: loaded {} cells from {path} ({ok} completed, {} failed \
+                         will re-run)",
+                        checkpoint.cells.len(),
+                        checkpoint.cells.len() - ok
+                    );
+                    checkpoint.cells
+                }
+            }
+        }
+        None => Vec::new(),
+    };
 
-    for exp in &experiments {
+    let log = match &parsed.telemetry {
+        Some(path) => {
+            let meta = checkpoint::WalMeta::new(config.seed, config.scale.divisor);
+            let writer = checkpoint::create_wal(path, &meta)?;
+            let writer: Box<dyn std::io::Write + Send> = match &faults {
+                Some(plan) if plan.io_p > 0.0 => Box::new(ChaosWriter::new(writer, *plan)),
+                _ => writer,
+            };
+            TelemetryLog::with_writer(writer)
+        }
+        // Resume replay and fault accounting both need a live log even
+        // without a WAL on disk.
+        None if parsed.resume.is_some() || faults.is_some() => TelemetryLog::in_memory(),
+        None => TelemetryLog::disabled(),
+    };
+    let log = log.with_faults(faults).with_resume(resumed);
+
+    for exp in &parsed.experiments {
         for table in dispatch(exp, &config, &log)? {
-            if csv {
+            if parsed.csv {
                 print!("{}", table.to_csv());
             } else {
                 println!("{table}");
             }
         }
     }
-    if log.is_enabled() {
-        eprint!("{}", log.summary());
-        if let Some(path) = &telemetry_path {
-            eprintln!("telemetry records written to {path}");
-        }
+
+    if !log.is_enabled() {
+        return Ok(ExitCode::SUCCESS);
     }
-    Ok(())
+    let summary = log.summary();
+    eprint!("{summary}");
+    if let Some(path) = &parsed.telemetry {
+        eprintln!("telemetry records written to {path}");
+    }
+    if summary.degraded() {
+        let manifest = summary.manifest_json();
+        match &parsed.telemetry {
+            Some(path) => {
+                let manifest_path = format!("{path}.manifest.json");
+                std::fs::write(&manifest_path, &manifest)
+                    .map_err(|e| format!("cannot write manifest `{manifest_path}`: {e}"))?;
+                eprintln!("suite degraded: failure manifest written to {manifest_path}");
+            }
+            None => {
+                eprintln!("suite degraded: failure manifest follows");
+                eprintln!("{manifest}");
+            }
+        }
+        return Ok(ExitCode::from(2));
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn dispatch(exp: &str, config: &SuiteConfig, log: &TelemetryLog) -> Result<Vec<Table>, String> {

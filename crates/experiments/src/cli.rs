@@ -1,0 +1,240 @@
+//! Argument parsing for the `repro` binary, split out so every flag — and
+//! every rejection — is unit-testable without spawning a process.
+//!
+//! Validation happens here, at the CLI boundary: `--threads 0` or
+//! `--scale 0` are clear errors instead of reaching a runner panic deep in
+//! a suite.
+
+use std::time::Duration;
+
+use crate::config::SuiteConfig;
+use crate::faults::FaultPlan;
+use crate::runner::RetryPolicy;
+use crate::Scale;
+
+/// Every experiment name `repro` accepts, in `all` order.
+pub const EXPERIMENTS: [&str; 11] = [
+    "tuning",
+    "table4.1",
+    "table4.2a",
+    "table4.2b",
+    "table4.2c",
+    "table4.2d",
+    "partition",
+    "tsp",
+    "ablation",
+    "trajectory",
+    "diagnostics",
+];
+
+/// One-line usage string for `repro` errors.
+pub const USAGE: &str = "usage: repro [--scale N] [--seed N] [--csv] [--threads N] \
+     [--telemetry PATH] [--resume WAL] [--faults SPEC] [--retries N] \
+     [--backoff-ms N] [--watchdog-ms N] <experiment>...";
+
+/// Parsed `repro` invocation.
+#[derive(Debug)]
+pub struct Cli {
+    /// Suite configuration assembled from the flags.
+    pub config: SuiteConfig,
+    /// Emit CSV instead of aligned text.
+    pub csv: bool,
+    /// Stream the telemetry WAL to this path.
+    pub telemetry: Option<String>,
+    /// Replay completed cells from this prior WAL.
+    pub resume: Option<String>,
+    /// Fault-injection plan (`--faults`; the `ANNEAL_FAULTS` environment
+    /// variable is merged in by the binary, not here, so parsing stays
+    /// pure).
+    pub faults: Option<FaultPlan>,
+    /// Experiments to run, `all` already expanded.
+    pub experiments: Vec<String>,
+}
+
+/// Parses `repro` arguments (everything after the program name).
+pub fn parse(args: &[String]) -> Result<Cli, String> {
+    let mut config = SuiteConfig::paper();
+    let mut csv = false;
+    let mut telemetry: Option<String> = None;
+    let mut resume: Option<String> = None;
+    let mut faults: Option<FaultPlan> = None;
+    let mut retries: u32 = 1;
+    let mut backoff = Duration::from_millis(100);
+    let mut experiments: Vec<String> = Vec::new();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_of = |flag: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--scale" => {
+                let v = value_of("--scale")?;
+                let n: u64 = v.parse().map_err(|_| format!("bad --scale value `{v}`"))?;
+                if n == 0 {
+                    return Err("--scale must be positive".into());
+                }
+                config.scale = Scale::new(n);
+            }
+            "--seed" => {
+                let v = value_of("--seed")?;
+                let seed: u64 = v.parse().map_err(|_| format!("bad --seed value `{v}`"))?;
+                config = config.with_seed(seed);
+            }
+            "--threads" => {
+                let v = value_of("--threads")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("bad --threads value `{v}`"))?;
+                if n == 0 {
+                    return Err("--threads must be positive (at least one worker thread)".into());
+                }
+                config = config.with_threads(n);
+            }
+            "--retries" => {
+                let v = value_of("--retries")?;
+                let n: u32 = v
+                    .parse()
+                    .map_err(|_| format!("bad --retries value `{v}`"))?;
+                if n == 0 {
+                    return Err("--retries must be positive (1 = no retries)".into());
+                }
+                retries = n;
+            }
+            "--backoff-ms" => {
+                let v = value_of("--backoff-ms")?;
+                let ms: u64 = v
+                    .parse()
+                    .map_err(|_| format!("bad --backoff-ms value `{v}`"))?;
+                backoff = Duration::from_millis(ms);
+            }
+            "--watchdog-ms" => {
+                let v = value_of("--watchdog-ms")?;
+                let ms: u64 = v
+                    .parse()
+                    .map_err(|_| format!("bad --watchdog-ms value `{v}`"))?;
+                if ms == 0 {
+                    return Err("--watchdog-ms must be positive".into());
+                }
+                config = config.with_watchdog(Some(Duration::from_millis(ms)));
+            }
+            "--telemetry" => telemetry = Some(value_of("--telemetry")?.clone()),
+            "--resume" => resume = Some(value_of("--resume")?.clone()),
+            "--faults" => faults = Some(FaultPlan::parse(value_of("--faults")?)?),
+            "--csv" => csv = true,
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}`"));
+            }
+            exp => experiments.push(exp.to_string()),
+        }
+    }
+
+    config = config.with_retry(RetryPolicy::new(retries, backoff));
+
+    if experiments.is_empty() {
+        return Err("no experiment given".into());
+    }
+    if experiments.iter().any(|e| e == "all") {
+        experiments = EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+    for exp in &experiments {
+        if !EXPERIMENTS.contains(&exp.as_str()) {
+            return Err(format!("unknown experiment `{exp}`"));
+        }
+    }
+
+    Ok(Cli {
+        config,
+        csv,
+        telemetry,
+        resume,
+        faults,
+        experiments,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn defaults_are_paper_faithful() {
+        let cli = parse(&args("table4.1")).unwrap();
+        assert_eq!(cli.config.scale, Scale::FULL);
+        assert_eq!(cli.config.threads, 1);
+        assert_eq!(cli.config.retry.attempts, 1);
+        assert_eq!(cli.config.watchdog, None);
+        assert!(!cli.csv && cli.telemetry.is_none() && cli.resume.is_none());
+        assert_eq!(cli.experiments, vec!["table4.1"]);
+    }
+
+    #[test]
+    fn full_flag_set_parses() {
+        let cli = parse(&args(
+            "--scale 40 --seed 7 --csv --threads 4 --telemetry out.jsonl \
+             --resume prior.jsonl --faults panic=0.5,seed=3 --retries 3 \
+             --backoff-ms 10 --watchdog-ms 5000 table4.1 table4.2b",
+        ))
+        .unwrap();
+        assert_eq!(cli.config.scale.divisor, 40);
+        assert_eq!(cli.config.seed, 7);
+        assert_eq!(cli.config.threads, 4);
+        assert_eq!(cli.config.retry.attempts, 3);
+        assert_eq!(cli.config.retry.backoff, Duration::from_millis(10));
+        assert_eq!(cli.config.watchdog, Some(Duration::from_millis(5000)));
+        assert!(cli.csv);
+        assert_eq!(cli.telemetry.as_deref(), Some("out.jsonl"));
+        assert_eq!(cli.resume.as_deref(), Some("prior.jsonl"));
+        assert_eq!(cli.faults.unwrap().panic_p, 0.5);
+        assert_eq!(cli.experiments, vec!["table4.1", "table4.2b"]);
+    }
+
+    #[test]
+    fn zero_threads_is_a_cli_error_not_a_panic() {
+        let err = parse(&args("--threads 0 table4.1")).unwrap_err();
+        assert!(err.contains("--threads must be positive"), "{err}");
+    }
+
+    #[test]
+    fn zero_scale_and_retries_and_watchdog_are_rejected() {
+        assert!(parse(&args("--scale 0 table4.1"))
+            .unwrap_err()
+            .contains("--scale"));
+        assert!(parse(&args("--retries 0 table4.1"))
+            .unwrap_err()
+            .contains("--retries"));
+        assert!(parse(&args("--watchdog-ms 0 table4.1"))
+            .unwrap_err()
+            .contains("--watchdog-ms"));
+    }
+
+    #[test]
+    fn missing_values_and_unknown_flags_are_rejected() {
+        assert!(parse(&args("--scale"))
+            .unwrap_err()
+            .contains("needs a value"));
+        assert!(parse(&args("--bogus table4.1"))
+            .unwrap_err()
+            .contains("unknown option"));
+        assert!(parse(&args("")).unwrap_err().contains("no experiment"));
+        assert!(parse(&args("not-an-experiment"))
+            .unwrap_err()
+            .contains("unknown experiment"));
+    }
+
+    #[test]
+    fn bad_fault_specs_surface_their_error() {
+        let err = parse(&args("--faults panic=2 table4.1")).unwrap_err();
+        assert!(err.contains("[0, 1]"), "{err}");
+    }
+
+    #[test]
+    fn all_expands_in_canonical_order() {
+        let cli = parse(&args("--scale 2 all")).unwrap();
+        assert_eq!(cli.experiments, EXPERIMENTS.to_vec());
+    }
+}

@@ -1,8 +1,11 @@
 //! Shared configuration for the experiment suite.
 
+use std::time::Duration;
+
 use crate::budgetmap::Scale;
 use crate::instances::DEFAULT_SEED;
 use crate::roster::TunedY;
+use crate::runner::{CellPolicy, RetryPolicy};
 
 /// Configuration shared by every table runner.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -17,6 +20,10 @@ pub struct SuiteConfig {
     /// OS threads per table cell (instances fan out; totals are identical
     /// for any thread count).
     pub threads: usize,
+    /// Bounded retry for failed cell instances (`--retries`).
+    pub retry: RetryPolicy,
+    /// Per-instance wall-clock deadline (`--watchdog-ms`).
+    pub watchdog: Option<Duration>,
 }
 
 impl SuiteConfig {
@@ -27,6 +34,8 @@ impl SuiteConfig {
             scale: Scale::FULL,
             tuned: TunedY::gola_defaults(),
             threads: 1,
+            retry: RetryPolicy::none(),
+            watchdog: None,
         }
     }
 
@@ -52,6 +61,27 @@ impl SuiteConfig {
         self.threads = threads.max(1);
         self
     }
+
+    /// Same configuration with a retry policy for failed cell instances.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Same configuration with a per-instance watchdog deadline.
+    pub fn with_watchdog(mut self, timeout: Option<Duration>) -> Self {
+        self.watchdog = timeout;
+        self
+    }
+
+    /// The per-cell execution policy this configuration implies.
+    pub fn cell_policy(&self) -> CellPolicy {
+        CellPolicy {
+            threads: self.threads,
+            retry: self.retry,
+            watchdog: self.watchdog,
+        }
+    }
 }
 
 impl Default for SuiteConfig {
@@ -76,5 +106,19 @@ mod tests {
         let c = SuiteConfig::scaled(10);
         assert_eq!(c.scale.divisor, 10);
         assert_eq!(c.with_seed(4).seed, 4);
+    }
+
+    #[test]
+    fn cell_policy_mirrors_config() {
+        let c = SuiteConfig::paper()
+            .with_threads(4)
+            .with_retry(RetryPolicy::new(3, Duration::from_millis(50)))
+            .with_watchdog(Some(Duration::from_secs(30)));
+        let p = c.cell_policy();
+        assert_eq!(p.threads, 4);
+        assert_eq!(p.retry.attempts, 3);
+        assert_eq!(p.watchdog, Some(Duration::from_secs(30)));
+        let default = SuiteConfig::paper().cell_policy();
+        assert_eq!(default, CellPolicy::sequential());
     }
 }

@@ -1,0 +1,308 @@
+//! Deterministic fault injection ("chaos") for the experiment harness.
+//!
+//! A [`FaultPlan`] decides — purely from its seed and the identity of the
+//! site — whether to inject a panic into an instance run, an I/O error into
+//! the telemetry sink, or an artificial slowdown. The same plan always makes
+//! the same decisions, so a chaos run is reproducible: the CI chaos job and
+//! the kill-and-resume tests rely on that.
+//!
+//! Plans are written as comma-separated `key=value` specs, from the
+//! `--faults` CLI flag or the `ANNEAL_FAULTS` environment variable:
+//!
+//! ```text
+//! seed=7,panic=0.25,io=0.1,delay=0.5,delay_ms=200
+//! ```
+//!
+//! | key | meaning | default |
+//! |---|---|---|
+//! | `seed` | decision seed | 0 |
+//! | `panic` | probability an instance run panics at the start of its strategy step | 0 |
+//! | `io` | probability a telemetry sink write fails | 0 |
+//! | `delay` | probability an instance run is slowed before it starts | 0 |
+//! | `delay_ms` | slowdown length in milliseconds | 100 |
+//!
+//! Each fault path exercises a distinct containment mechanism: `panic` the
+//! `catch_unwind` isolation in the runner, `io` the telemetry
+//! write-error accounting, and `delay` (together with `--watchdog-ms`) the
+//! [`anneal_core::watchdog`] deadline.
+
+use std::io::{self, Write};
+use std::time::Duration;
+
+use crate::telemetry::CellKey;
+
+/// Environment variable holding a fault-plan spec.
+pub const FAULTS_ENV: &str = "ANNEAL_FAULTS";
+
+/// A seeded, deterministic fault-injection plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Decision seed; the same seed reproduces the same faults.
+    pub seed: u64,
+    /// Probability an instance run panics.
+    pub panic_p: f64,
+    /// Probability a telemetry sink write fails.
+    pub io_p: f64,
+    /// Probability an instance run is delayed.
+    pub delay_p: f64,
+    /// Injected delay length.
+    pub delay: Duration,
+}
+
+/// What a [`FaultPlan`] injects into one instance run attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InstanceFault {
+    /// Panic at the start of the strategy step.
+    pub panic: bool,
+    /// Sleep this long before the strategy step (watchdog fodder).
+    pub delay: Option<Duration>,
+}
+
+impl Default for FaultPlan {
+    /// A plan that injects nothing.
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            panic_p: 0.0,
+            io_p: 0.0,
+            delay_p: 0.0,
+            delay: Duration::from_millis(100),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Parses a `key=value,key=value` spec (see module docs).
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::default();
+        for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault spec item `{part}` is not key=value"))?;
+            let (key, value) = (key.trim(), value.trim());
+            let prob = |v: &str| -> Result<f64, String> {
+                let p: f64 = v
+                    .parse()
+                    .map_err(|_| format!("bad probability `{v}` for fault `{key}`"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("fault probability `{key}={v}` must be in [0, 1]"));
+                }
+                Ok(p)
+            };
+            match key {
+                "seed" => {
+                    plan.seed = value
+                        .parse()
+                        .map_err(|_| format!("bad fault seed `{value}`"))?;
+                }
+                "panic" => plan.panic_p = prob(value)?,
+                "io" => plan.io_p = prob(value)?,
+                "delay" => plan.delay_p = prob(value)?,
+                "delay_ms" => {
+                    let ms: u64 = value
+                        .parse()
+                        .map_err(|_| format!("bad delay_ms `{value}`"))?;
+                    plan.delay = Duration::from_millis(ms);
+                }
+                other => return Err(format!("unknown fault key `{other}`")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// The plan from the `ANNEAL_FAULTS` environment variable, if set.
+    pub fn from_env() -> Result<Option<Self>, String> {
+        match std::env::var(FAULTS_ENV) {
+            Ok(spec) if !spec.trim().is_empty() => Self::parse(&spec).map(Some),
+            _ => Ok(None),
+        }
+    }
+
+    /// Whether this plan can inject anything at all.
+    pub fn is_active(&self) -> bool {
+        self.panic_p > 0.0 || self.io_p > 0.0 || self.delay_p > 0.0
+    }
+
+    /// The faults (if any) for one `(cell, instance, attempt)` run. Pure:
+    /// the same arguments always produce the same decision, and distinct
+    /// attempts roll independently — which is what lets retry-with-backoff
+    /// recover from sub-certain fault probabilities.
+    pub fn instance_fault(&self, key: &CellKey, instance: usize, attempt: u32) -> InstanceFault {
+        let site = |label: &str| {
+            let mut h = mix(self.seed, hash_str(label));
+            h = mix(h, hash_str(&key.table));
+            h = mix(h, hash_str(&key.method));
+            h = mix(h, hash_str(&key.column));
+            h = mix(h, instance as u64);
+            mix(h, attempt as u64)
+        };
+        InstanceFault {
+            panic: decide(site("panic"), self.panic_p),
+            delay: decide(site("delay"), self.delay_p).then_some(self.delay),
+        }
+    }
+
+    /// Whether the `index`-th write to the telemetry sink should fail.
+    pub fn write_fails(&self, index: u64) -> bool {
+        decide(mix(mix(self.seed, hash_str("io")), index), self.io_p)
+    }
+}
+
+/// splitmix64 finalizer — decorrelates the site hash from its inputs.
+fn mix(state: u64, value: u64) -> u64 {
+    let mut z = state
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(value)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn hash_str(s: &str) -> u64 {
+    s.bytes().fold(0xcbf2_9ce4_8422_2325, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3)
+    })
+}
+
+/// Maps a hash to `[0, 1)` and compares against the probability.
+fn decide(hash: u64, p: f64) -> bool {
+    if p <= 0.0 {
+        return false;
+    }
+    if p >= 1.0 {
+        return true;
+    }
+    ((hash >> 11) as f64 / (1u64 << 53) as f64) < p
+}
+
+/// A telemetry sink wrapper that fails writes according to a [`FaultPlan`]
+/// (the `io` probability), deterministically by write index.
+pub struct ChaosWriter<W> {
+    inner: W,
+    plan: FaultPlan,
+    writes: u64,
+}
+
+impl<W: Write> ChaosWriter<W> {
+    /// Wraps `inner` under `plan`.
+    pub fn new(inner: W, plan: FaultPlan) -> Self {
+        ChaosWriter {
+            inner,
+            plan,
+            writes: 0,
+        }
+    }
+}
+
+impl<W: Write> Write for ChaosWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let index = self.writes;
+        self.writes += 1;
+        if self.plan.write_fails(index) {
+            return Err(io::Error::other(format!(
+                "fault injection: telemetry write {index} failed"
+            )));
+        }
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> CellKey {
+        CellKey::new("table4.1", "g = 1", "6 sec")
+    }
+
+    #[test]
+    fn parse_full_spec() {
+        let plan = FaultPlan::parse("seed=7, panic=0.25,io=0.1,delay=0.5,delay_ms=200").unwrap();
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.panic_p, 0.25);
+        assert_eq!(plan.io_p, 0.1);
+        assert_eq!(plan.delay_p, 0.5);
+        assert_eq!(plan.delay, Duration::from_millis(200));
+        assert!(plan.is_active());
+    }
+
+    #[test]
+    fn parse_rejects_bad_specs() {
+        assert!(FaultPlan::parse("panic").is_err());
+        assert!(FaultPlan::parse("panic=2.0").is_err());
+        assert!(FaultPlan::parse("panic=-0.1").is_err());
+        assert!(FaultPlan::parse("bogus=1").is_err());
+        assert!(FaultPlan::parse("seed=notanumber").is_err());
+        assert!(FaultPlan::parse("delay_ms=abc").is_err());
+    }
+
+    #[test]
+    fn empty_spec_is_inactive() {
+        let plan = FaultPlan::parse("").unwrap();
+        assert_eq!(plan, FaultPlan::default());
+        assert!(!plan.is_active());
+        assert_eq!(plan.instance_fault(&key(), 0, 0), InstanceFault::default());
+        assert!(!plan.write_fails(0));
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_seed_dependent() {
+        let a = FaultPlan::parse("seed=1,panic=0.5").unwrap();
+        let b = FaultPlan::parse("seed=2,panic=0.5").unwrap();
+        let roll = |plan: &FaultPlan| -> Vec<bool> {
+            (0..64)
+                .map(|i| plan.instance_fault(&key(), i, 0).panic)
+                .collect()
+        };
+        assert_eq!(roll(&a), roll(&a), "same plan, same decisions");
+        assert_ne!(roll(&a), roll(&b), "different seeds diverge");
+        let hits = roll(&a).iter().filter(|&&x| x).count();
+        assert!((10..55).contains(&hits), "p=0.5 over 64 sites: {hits}");
+    }
+
+    #[test]
+    fn attempts_roll_independently() {
+        let plan = FaultPlan::parse("seed=3,panic=0.5").unwrap();
+        let per_attempt: Vec<bool> = (0..64)
+            .map(|a| plan.instance_fault(&key(), 0, a).panic)
+            .collect();
+        assert!(per_attempt.iter().any(|&x| x));
+        assert!(per_attempt.iter().any(|&x| !x), "a retry can succeed");
+    }
+
+    #[test]
+    fn certain_probabilities_are_certain() {
+        let plan = FaultPlan::parse("panic=1,delay=1,io=1,delay_ms=5").unwrap();
+        for i in 0..16 {
+            let f = plan.instance_fault(&key(), i, 0);
+            assert!(f.panic);
+            assert_eq!(f.delay, Some(Duration::from_millis(5)));
+            assert!(plan.write_fails(i as u64));
+        }
+    }
+
+    #[test]
+    fn chaos_writer_fails_deterministically() {
+        let plan = FaultPlan::parse("seed=9,io=0.5").unwrap();
+        let run = || -> Vec<bool> {
+            let mut w = ChaosWriter::new(Vec::new(), plan);
+            (0..32).map(|_| w.write(b"x").is_ok()).collect()
+        };
+        let a = run();
+        assert_eq!(a, run());
+        assert!(a.iter().any(|&ok| ok) && a.iter().any(|&ok| !ok));
+    }
+
+    #[test]
+    fn chaos_writer_passes_data_through() {
+        let mut w = ChaosWriter::new(Vec::new(), FaultPlan::default());
+        w.write_all(b"hello").unwrap();
+        w.flush().unwrap();
+        assert_eq!(w.inner, b"hello");
+    }
+}

@@ -36,10 +36,13 @@
 pub mod ablation;
 pub mod bench;
 mod budgetmap;
+pub mod checkpoint;
+pub mod cli;
 mod config;
 pub mod diagnostics;
 pub mod ext_partition;
 pub mod ext_tsp;
+pub mod faults;
 mod instances;
 mod roster;
 mod runner;
@@ -52,9 +55,11 @@ pub mod tuning;
 pub use budgetmap::{
     vax_seconds, Scale, EVALS_PER_VAX_SECOND, NOLA_EVAL_COST, PAPER_SECONDS, PAPER_SECONDS_42B,
 };
+pub use checkpoint::{Checkpoint, WalMeta};
 pub use config::SuiteConfig;
+pub use faults::{ChaosWriter, FaultPlan};
 pub use instances::{gola_paper_set, nola_paper_set, DEFAULT_SEED, NOLA_PIN_RANGE};
 pub use roster::{full_roster, reduced_roster, MethodCtx, MethodSpec, TunedY};
-pub use runner::ArrangementSet;
+pub use runner::{ArrangementSet, CellPolicy, RetryPolicy};
 pub use table::Table;
-pub use telemetry::{CellFailure, CellKey, CellRecord, SuiteSummary, TelemetryLog};
+pub use telemetry::{CellFailure, CellKey, CellRecord, FailedCell, SuiteSummary, TelemetryLog};

@@ -7,25 +7,113 @@
 //! [`TelemetryLog`] — with its method, instance index and chain seed — while
 //! the rest of the table completes. Without an enabled log the panic is
 //! re-raised, preserving fail-fast behavior for ad-hoc runs.
+//!
+//! On top of the isolation, a [`CellPolicy`] adds the rest of the failure
+//! path: **retry with backoff** (failed instances are re-run up to a
+//! bounded number of attempts — deterministic seeding means a retried
+//! instance that succeeds produces exactly the values of a clean run), a
+//! **watchdog deadline** per instance (see [`anneal_core::watchdog`]) so a
+//! runaway chain cannot hang its cell, and **resume replay** (a cell whose
+//! clean record is in the log's `--resume` cache is replayed from the WAL
+//! instead of re-run). Chaos testing hooks in through the log's
+//! [`FaultPlan`](crate::faults::FaultPlan).
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use anneal_core::{
-    derive_seed, Budget, Figure1, Figure2, Rejectionless, RunResult, RunTelemetry, Strategy,
-    DEFAULT_EQUILIBRIUM,
+    derive_seed, watchdog, Budget, Figure1, Figure2, Rejectionless, RunResult, RunTelemetry,
+    Strategy, DEFAULT_EQUILIBRIUM,
 };
 use anneal_linarr::{goto_arrangement, ArrangedState, LinearArrangementProblem};
 use rand::{rngs::StdRng, SeedableRng};
 
+use crate::faults::InstanceFault;
 use crate::roster::{MethodCtx, MethodSpec};
 use crate::telemetry::{CellFailure, CellKey, CellRecord, TelemetryLog};
 
 /// Seed-stream salt separating start generation from chain randomness.
 const RUN_SALT: u64 = 0x52554E;
 
+/// Bounded retry for failed cells: up to `attempts` runs per instance, with
+/// exponential backoff between attempts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum run attempts per instance (≥ 1; 1 = no retries).
+    pub attempts: u32,
+    /// Backoff before attempt `k+1`, doubled each retry (capped at 2⁸×).
+    pub backoff: Duration,
+}
+
+impl RetryPolicy {
+    /// No retries: one attempt, fail-fast into the record.
+    pub fn none() -> Self {
+        RetryPolicy {
+            attempts: 1,
+            backoff: Duration::ZERO,
+        }
+    }
+
+    /// Up to `attempts` attempts with `backoff` base delay (clamped to at
+    /// least one attempt).
+    pub fn new(attempts: u32, backoff: Duration) -> Self {
+        RetryPolicy {
+            attempts: attempts.max(1),
+            backoff,
+        }
+    }
+
+    /// The backoff before retry number `retry` (1-based), doubling each
+    /// time.
+    fn delay_before(&self, retry: u32) -> Duration {
+        self.backoff * 2u32.pow(retry.saturating_sub(1).min(8))
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// How one table cell is executed: parallelism, retries, and the
+/// per-instance watchdog deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellPolicy {
+    /// OS threads the instances fan out over (≥ 1; totals are identical
+    /// for any thread count).
+    pub threads: usize,
+    /// Bounded retry for failed instances.
+    pub retry: RetryPolicy,
+    /// Per-instance wall-clock deadline; an instance that exceeds it is
+    /// recorded as a failure (see [`anneal_core::watchdog`]).
+    pub watchdog: Option<Duration>,
+}
+
+impl CellPolicy {
+    /// Sequential, no retries, no watchdog — the historical behavior.
+    pub fn sequential() -> Self {
+        Self::with_threads(1)
+    }
+
+    /// `threads`-way fan-out, no retries, no watchdog.
+    pub fn with_threads(threads: usize) -> Self {
+        CellPolicy {
+            threads,
+            retry: RetryPolicy::none(),
+            watchdog: None,
+        }
+    }
+}
+
+impl Default for CellPolicy {
+    fn default() -> Self {
+        Self::sequential()
+    }
+}
+
 /// What one instance run produced: its reduction and telemetry, or the
-/// message of a caught panic.
+/// message of a caught panic (or watchdog timeout).
 struct InstanceOutcome {
     index: usize,
     seed: u64,
@@ -132,7 +220,7 @@ impl ArrangementSet {
             spec,
             strategy,
             budget,
-            1,
+            &CellPolicy::sequential(),
             &TelemetryLog::disabled(),
         )
     }
@@ -156,74 +244,85 @@ impl ArrangementSet {
             spec,
             strategy,
             budget,
-            threads,
+            &CellPolicy::with_threads(threads),
             &TelemetryLog::disabled(),
         )
     }
 
     /// Runs one table cell — `spec` × `strategy` × `budget` over the whole
-    /// set — with per-instance fault isolation, recording a [`CellRecord`]
-    /// into `log`, and returns the total reduction over instances that
-    /// completed.
+    /// set — under `policy`, with per-instance fault isolation, recording a
+    /// [`CellRecord`] into `log`, and returns the total reduction over
+    /// instances that completed.
     ///
-    /// Instances are fanned out over `threads` OS threads (1 = sequential);
-    /// per-instance results are summed in index order, so totals are bitwise
-    /// identical regardless of thread count.
+    /// Instances are fanned out over `policy.threads` OS threads
+    /// (1 = sequential); per-instance results are summed in index order, so
+    /// totals are bitwise identical regardless of thread count. Failed
+    /// instances are re-run up to `policy.retry.attempts` times (same
+    /// derived seed, so a successful retry is indistinguishable from a
+    /// clean first run), and `policy.watchdog` bounds each instance's
+    /// wall-clock time.
+    ///
+    /// If the cell's clean record is in `log`'s `--resume` cache (same
+    /// strategy, budget and base seed), it is **replayed**: re-recorded
+    /// into `log` and its reduction returned without running anything.
     ///
     /// # Panics
     ///
-    /// Panics if `threads == 0`. When `log` is disabled an instance panic is
-    /// re-raised (fail-fast); when it is enabled the panic is recorded as a
-    /// [`CellFailure`] and the remaining instances still run.
+    /// Panics if `policy.threads == 0`. When `log` is disabled an instance
+    /// panic is re-raised (fail-fast); when it is enabled the panic is
+    /// recorded as a [`CellFailure`] and the remaining instances still run.
     pub fn run_cell(
         &self,
         key: CellKey,
         spec: &MethodSpec,
         strategy: Strategy,
         budget: Budget,
-        threads: usize,
+        policy: &CellPolicy,
         log: &TelemetryLog,
     ) -> f64 {
-        assert!(threads > 0, "need at least one thread");
-        let n = self.problems.len();
-        let outcomes: Vec<InstanceOutcome> = if threads == 1 || n <= 1 {
-            (0..n)
-                .map(|idx| self.run_instance_caught(idx, spec, strategy, budget))
-                .collect()
-        } else {
-            let next = std::sync::atomic::AtomicUsize::new(0);
-            // Per-instance results are written into fixed slots and combined
-            // in index order afterwards, so the floating-point total is
-            // identical to the sequential version regardless of thread
-            // interleaving.
-            let slots: std::sync::Mutex<Vec<Option<InstanceOutcome>>> =
-                std::sync::Mutex::new((0..n).map(|_| None).collect());
-            std::thread::scope(|scope| {
-                for _ in 0..threads.min(n) {
-                    let next = &next;
-                    let slots = &slots;
-                    scope.spawn(move || loop {
-                        let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if idx >= n {
-                            break;
-                        }
-                        let outcome = self.run_instance_caught(idx, spec, strategy, budget);
-                        slots.lock().expect("no poisoned workers")[idx] = Some(outcome);
-                    });
-                }
-            });
-            slots
-                .into_inner()
-                .expect("no poisoned workers")
-                .into_iter()
-                .map(|o| o.expect("every slot filled"))
-                .collect()
-        };
+        assert!(policy.threads > 0, "need at least one thread");
+        let strategy_name = format!("{strategy:?}");
+        if let Some(cached) = log.replay(&key, &strategy_name, &budget.to_string(), self.seed) {
+            let total = cached.reduction;
+            log.record_replayed(cached);
+            return total;
+        }
 
-        let mut record = CellRecord::empty(key, format!("{strategy:?}"), budget, self.seed);
+        let n = self.problems.len();
+        let mut outcomes: Vec<Option<InstanceOutcome>> = (0..n).map(|_| None).collect();
+        let mut pending: Vec<usize> = (0..n).collect();
+        let mut attempts = 0u32;
+        while !pending.is_empty() && attempts < policy.retry.attempts {
+            if attempts > 0 {
+                let backoff = policy.retry.delay_before(attempts);
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                }
+            }
+            for outcome in self.run_instances(
+                &pending, spec, strategy, budget, policy, attempts, &key, log,
+            ) {
+                let slot = outcome.index;
+                outcomes[slot] = Some(outcome);
+            }
+            attempts += 1;
+            pending = outcomes
+                .iter()
+                .filter_map(|o| match o {
+                    Some(o) if o.outcome.is_err() => Some(o.index),
+                    _ => None,
+                })
+                .collect();
+        }
+
+        let mut record = CellRecord::empty(key, strategy_name, budget, self.seed);
         record.instances = n;
+        record.attempts = attempts.max(1);
         let mut total = 0.0;
-        for o in &outcomes {
+        for o in outcomes
+            .iter()
+            .map(|o| o.as_ref().expect("every instance ran"))
+        {
             match &o.outcome {
                 Ok((reduction, telemetry)) => {
                     total += reduction;
@@ -249,24 +348,104 @@ impl ArrangementSet {
         total
     }
 
+    /// Runs the instances in `indices` (one attempt each) over
+    /// `policy.threads` workers, returning their outcomes in `indices`
+    /// order.
+    #[allow(clippy::too_many_arguments)]
+    fn run_instances(
+        &self,
+        indices: &[usize],
+        spec: &MethodSpec,
+        strategy: Strategy,
+        budget: Budget,
+        policy: &CellPolicy,
+        attempt: u32,
+        key: &CellKey,
+        log: &TelemetryLog,
+    ) -> Vec<InstanceOutcome> {
+        let n = indices.len();
+        let run_one = |idx: usize| {
+            let fault = log
+                .faults()
+                .map(|plan| plan.instance_fault(key, idx, attempt))
+                .unwrap_or_default();
+            self.run_instance_caught(idx, spec, strategy, budget, fault, policy.watchdog)
+        };
+        if policy.threads == 1 || n <= 1 {
+            indices.iter().map(|&idx| run_one(idx)).collect()
+        } else {
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            // Per-instance results are written into fixed slots and combined
+            // in index order afterwards, so the floating-point total is
+            // identical to the sequential version regardless of thread
+            // interleaving.
+            let slots: std::sync::Mutex<Vec<Option<InstanceOutcome>>> =
+                std::sync::Mutex::new((0..n).map(|_| None).collect());
+            std::thread::scope(|scope| {
+                for _ in 0..policy.threads.min(n) {
+                    let next = &next;
+                    let slots = &slots;
+                    let run_one = &run_one;
+                    scope.spawn(move || loop {
+                        let slot = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if slot >= n {
+                            break;
+                        }
+                        let outcome = run_one(indices[slot]);
+                        slots.lock().expect("no poisoned workers")[slot] = Some(outcome);
+                    });
+                }
+            });
+            slots
+                .into_inner()
+                .expect("no poisoned workers")
+                .into_iter()
+                .map(|o| o.expect("every slot filled"))
+                .collect()
+        }
+    }
+
     fn run_instance_caught(
         &self,
         idx: usize,
         spec: &MethodSpec,
         strategy: Strategy,
         budget: Budget,
+        fault: InstanceFault,
+        watchdog_timeout: Option<Duration>,
     ) -> InstanceOutcome {
         let seed = derive_seed(self.seed ^ RUN_SALT, idx as u64);
         let started = Instant::now();
+        // Arm the watchdog on this worker thread: every Meter the strategy
+        // creates inside the closure captures the deadline, so a runaway
+        // chain winds down as soon as it polls its budget.
+        let guard = watchdog_timeout.map(watchdog::arm);
         let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(delay) = fault.delay {
+                std::thread::sleep(delay);
+            }
+            if fault.panic {
+                panic!("fault injection: forced panic (instance {idx})");
+            }
             self.run_instance(idx, spec, strategy, budget)
         }));
+        let elapsed = started.elapsed();
+        let timed_out = guard.is_some() && watchdog::expired();
+        drop(guard);
         InstanceOutcome {
             index: idx,
             seed,
             outcome: match outcome {
+                Ok(_) if timed_out => Err(format!(
+                    "watchdog: instance exceeded its {:.0} ms deadline (ran {:.0} ms)",
+                    watchdog_timeout
+                        .expect("timed out implies armed")
+                        .as_secs_f64()
+                        * 1e3,
+                    elapsed.as_secs_f64() * 1e3
+                )),
                 Ok(result) => {
-                    let telemetry = RunTelemetry::capture(&result, started.elapsed());
+                    let telemetry = RunTelemetry::capture(&result, elapsed);
                     Ok((result.reduction(), telemetry))
                 }
                 Err(payload) => Err(panic_message(payload)),
@@ -409,7 +588,7 @@ mod tests {
             &poisoned_spec(),
             Strategy::Figure1,
             Budget::evaluations(500),
-            1,
+            &CellPolicy::sequential(),
             &log,
         );
 
@@ -429,7 +608,8 @@ mod tests {
         // The summary surfaces the failure for triage.
         let summary = log.summary();
         assert_eq!(summary.failed.len(), 1);
-        assert_eq!(summary.failed[0].1[0].instance, 2);
+        assert_eq!(summary.failed[0].failures[0].instance, 2);
+        assert_eq!(summary.failed[0].attempts, 1);
     }
 
     #[test]
@@ -444,7 +624,7 @@ mod tests {
                 &poisoned_spec(),
                 Strategy::Figure1,
                 budget,
-                threads,
+                &CellPolicy::with_threads(threads),
                 &log,
             );
             (total, log.records().remove(0))
@@ -492,7 +672,7 @@ mod tests {
             spec,
             Strategy::Figure1,
             Budget::evaluations(2_000),
-            1,
+            &CellPolicy::sequential(),
             &log,
         );
         let r = log.records().remove(0);
@@ -514,5 +694,215 @@ mod tests {
             total,
             set.run_method(spec, Strategy::Figure1, Budget::evaluations(2_000))
         );
+    }
+
+    #[test]
+    fn panic_message_handles_all_payload_kinds() {
+        let capture = |f: Box<dyn Fn() + Send>| -> String {
+            panic_message(catch_unwind(AssertUnwindSafe(f)).unwrap_err())
+        };
+        assert_eq!(capture(Box::new(|| panic!("plain str"))), "plain str");
+        assert_eq!(
+            capture(Box::new(|| panic!("formatted {}", 42))),
+            "formatted 42"
+        );
+        assert_eq!(
+            capture(Box::new(|| std::panic::panic_any(String::from("owned")))),
+            "owned"
+        );
+        // Non-string payloads (integers, structs) must not be lost or crash
+        // the fault isolation.
+        assert_eq!(
+            capture(Box::new(|| std::panic::panic_any(7u32))),
+            "non-string panic payload"
+        );
+        assert_eq!(
+            capture(Box::new(|| std::panic::panic_any(vec![1, 2, 3]))),
+            "non-string panic payload"
+        );
+    }
+
+    /// Panics on the first `fail_first` g-instantiations, then works — a
+    /// flaky method that a retry can recover.
+    fn flaky_spec(fail_first: u32) -> MethodSpec {
+        use anneal_core::GFunction;
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let calls = AtomicU32::new(0);
+        MethodSpec::with_ctx("flaky", move |_| {
+            if calls.fetch_add(1, Ordering::SeqCst) < fail_first {
+                panic!("transient failure");
+            }
+            GFunction::unit()
+        })
+    }
+
+    #[test]
+    fn retry_recovers_a_transient_failure_exactly() {
+        let set = tiny_set();
+        let budget = Budget::evaluations(500);
+        let clean = {
+            let log = TelemetryLog::in_memory();
+            set.run_cell(
+                CellKey::new("test", "flaky", "500 evals"),
+                &flaky_spec(0),
+                Strategy::Figure1,
+                budget,
+                &CellPolicy::sequential(),
+                &log,
+            )
+        };
+
+        let log = TelemetryLog::in_memory();
+        let policy = CellPolicy {
+            retry: RetryPolicy::new(3, Duration::ZERO),
+            ..CellPolicy::sequential()
+        };
+        let total = set.run_cell(
+            CellKey::new("test", "flaky", "500 evals"),
+            &flaky_spec(1),
+            Strategy::Figure1,
+            budget,
+            &policy,
+            &log,
+        );
+        let record = log.records().remove(0);
+        assert!(record.ok(), "the retry recovered: {:?}", record.failures);
+        assert_eq!(record.attempts, 2);
+        assert_eq!(record.per_instance.len(), 4);
+        // Deterministic per-instance seeding: the retried instance produced
+        // exactly what a clean run would have.
+        assert_eq!(total, clean);
+    }
+
+    #[test]
+    fn retry_attempts_are_bounded_and_recorded() {
+        let set = mixed_set();
+        let log = TelemetryLog::in_memory();
+        let policy = CellPolicy {
+            retry: RetryPolicy::new(3, Duration::ZERO),
+            ..CellPolicy::sequential()
+        };
+        let _ = set.run_cell(
+            CellKey::new("test", "poisoned", "500 evals"),
+            &poisoned_spec(),
+            Strategy::Figure1,
+            Budget::evaluations(500),
+            &policy,
+            &log,
+        );
+        let record = log.records().remove(0);
+        assert!(!record.ok(), "a deterministic panic survives every retry");
+        assert_eq!(record.attempts, 3);
+        assert_eq!(record.failures.len(), 1);
+        // The healthy instances ran once and were not re-run.
+        assert_eq!(record.per_instance.len(), 3);
+    }
+
+    #[test]
+    fn injected_panic_fault_is_contained() {
+        use crate::faults::FaultPlan;
+        let set = tiny_set();
+        let log = TelemetryLog::in_memory()
+            .with_faults(Some(FaultPlan::parse("seed=1,panic=1").unwrap()));
+        let total = set.run_cell(
+            CellKey::new("test", "g = 1", "500 evals"),
+            &full_roster(TunedY::default())[3],
+            Strategy::Figure1,
+            Budget::evaluations(500),
+            &CellPolicy::sequential(),
+            &log,
+        );
+        let record = log.records().remove(0);
+        assert_eq!(total, 0.0, "every instance was killed");
+        assert_eq!(record.failures.len(), 4);
+        assert!(record.failures[0].message.contains("fault injection"));
+    }
+
+    #[test]
+    fn watchdog_contains_an_injected_slowdown() {
+        use crate::faults::FaultPlan;
+        let set = tiny_set();
+        // Every instance sleeps 80 ms against a 20 ms deadline.
+        let log = TelemetryLog::in_memory()
+            .with_faults(Some(FaultPlan::parse("delay=1,delay_ms=80").unwrap()));
+        let policy = CellPolicy {
+            watchdog: Some(Duration::from_millis(20)),
+            ..CellPolicy::sequential()
+        };
+        let started = Instant::now();
+        let _ = set.run_cell(
+            CellKey::new("test", "g = 1", "500 evals"),
+            &full_roster(TunedY::default())[3],
+            Strategy::Figure1,
+            Budget::evaluations(500),
+            &policy,
+            &log,
+        );
+        let record = log.records().remove(0);
+        assert!(!record.ok());
+        assert_eq!(record.failures.len(), 4);
+        for f in &record.failures {
+            assert!(f.message.contains("watchdog"), "{}", f.message);
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "the cell did not hang"
+        );
+    }
+
+    #[test]
+    fn watchdog_leaves_fast_cells_alone() {
+        let set = tiny_set();
+        let log = TelemetryLog::in_memory();
+        let policy = CellPolicy {
+            watchdog: Some(Duration::from_secs(600)),
+            ..CellPolicy::sequential()
+        };
+        let spec = &full_roster(TunedY::default())[3];
+        let budget = Budget::evaluations(500);
+        let total = set.run_cell(
+            CellKey::new("test", "g = 1", "500 evals"),
+            spec,
+            Strategy::Figure1,
+            budget,
+            &policy,
+            &log,
+        );
+        assert!(log.records().remove(0).ok());
+        assert_eq!(total, set.run_method(spec, Strategy::Figure1, budget));
+    }
+
+    #[test]
+    fn replayed_cell_is_not_re_run() {
+        let set = tiny_set();
+        let spec = &full_roster(TunedY::default())[3];
+        let budget = Budget::evaluations(500);
+        let key = CellKey::new("test", "g = 1", "500 evals");
+
+        let first = TelemetryLog::in_memory();
+        let total = set.run_cell(
+            key.clone(),
+            spec,
+            Strategy::Figure1,
+            budget,
+            &CellPolicy::sequential(),
+            &first,
+        );
+        let cached = first.records().remove(0);
+
+        // Replaying with a spec that always panics proves nothing ran.
+        let bomb = MethodSpec::new("bomb", || panic!("must not run"));
+        let resumed = TelemetryLog::in_memory().with_resume(vec![cached.clone()]);
+        let replayed_total = set.run_cell(
+            key,
+            &bomb,
+            Strategy::Figure1,
+            budget,
+            &CellPolicy::sequential(),
+            &resumed,
+        );
+        assert_eq!(replayed_total, total);
+        assert_eq!(resumed.records().remove(0), cached);
+        assert_eq!(resumed.summary().replayed, 1);
     }
 }

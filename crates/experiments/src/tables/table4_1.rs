@@ -52,7 +52,7 @@ pub fn run_logged(config: &SuiteConfig, log: &TelemetryLog) -> Table {
                     &spec,
                     Strategy::Figure1,
                     config.scale.vax_seconds(s),
-                    config.threads,
+                    &config.cell_policy(),
                     log,
                 )
             })

@@ -46,7 +46,7 @@ pub fn run_logged(config: &SuiteConfig, log: &TelemetryLog) -> Table {
                 &spec,
                 strategy,
                 budget,
-                config.threads,
+                &config.cell_policy(),
                 log,
             )
         });

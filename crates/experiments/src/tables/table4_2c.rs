@@ -51,7 +51,7 @@ pub fn run_logged(config: &SuiteConfig, log: &TelemetryLog) -> Table {
                     &spec,
                     Strategy::Figure1,
                     config.scale.vax_seconds(s).scale_div(NOLA_EVAL_COST),
-                    config.threads,
+                    &config.cell_policy(),
                     log,
                 )
             })

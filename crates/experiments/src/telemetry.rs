@@ -13,14 +13,17 @@
 //! so there is no serde); the format is documented in EXPERIMENTS.md and
 //! exercised by tests below.
 
+use std::collections::HashMap;
 use std::fmt;
 use std::io::Write;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use anneal_core::{AdvanceReason, Budget, RunTelemetry};
 
+use crate::faults::FaultPlan;
+
 /// Identity of one table cell.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CellKey {
     /// Table name (e.g. `"table4.1"`).
     pub table: String,
@@ -133,11 +136,14 @@ pub struct CellRecord {
     pub stops_budget: usize,
     /// Completed instances that stopped on the equilibrium criterion.
     pub stops_equilibrium: usize,
+    /// Run attempts the cell took (1 = no retries were needed).
+    pub attempts: u32,
     /// Acceptance breakdown aggregated per temperature index.
     pub per_temp: Vec<TempAggregate>,
     /// Compact per-instance rows.
     pub per_instance: Vec<InstanceRecord>,
-    /// Caught panics; empty means the cell completed cleanly.
+    /// Caught panics from the final attempt; empty means the cell
+    /// completed cleanly.
     pub failures: Vec<CellFailure>,
 }
 
@@ -211,6 +217,7 @@ impl CellRecord {
             rejected_uphill: 0,
             stops_budget: 0,
             stops_equilibrium: 0,
+            attempts: 1,
             per_temp: Vec::new(),
             per_instance: Vec::new(),
             failures: Vec::new(),
@@ -245,6 +252,7 @@ impl CellRecord {
             &self.stops_equilibrium.to_string(),
         );
         push_raw_field(&mut s, "ok", if self.ok() { "true" } else { "false" });
+        push_raw_field(&mut s, "attempts", &self.attempts.to_string());
 
         s.push_str("\"per_temp\":[");
         for (i, t) in self.per_temp.iter().enumerate() {
@@ -339,15 +347,29 @@ fn escape_json(s: &str) -> String {
 
 /// A sink for [`CellRecord`]s: in-memory collection plus an optional
 /// streaming JSON-lines writer. Thread-safe — the parallel runner records
-/// from worker threads.
+/// from worker threads — and poison-proof: a writer that panics mid-record
+/// must not wedge the remaining cells, so the inner mutex is recovered
+/// rather than propagated.
+///
+/// The log also carries the suite's failure-path machinery: write-error
+/// accounting (a record that could not be persisted is counted and named in
+/// the [`SuiteSummary`]), the optional [`FaultPlan`] the runner consults for
+/// chaos injection, and the `--resume` replay cache of completed cells from
+/// a prior run's WAL (see [`checkpoint`](crate::checkpoint)).
 pub struct TelemetryLog {
     enabled: bool,
     inner: Mutex<Inner>,
+    faults: Option<FaultPlan>,
+    resume: HashMap<CellKey, CellRecord>,
 }
 
 struct Inner {
     records: Vec<CellRecord>,
     writer: Option<Box<dyn Write + Send>>,
+    /// Records whose JSONL line could not be written (I/O error).
+    lost: Vec<CellKey>,
+    /// Cells replayed from a resume cache instead of re-run.
+    replayed: usize,
 }
 
 impl fmt::Debug for TelemetryLog {
@@ -359,38 +381,82 @@ impl fmt::Debug for TelemetryLog {
 }
 
 impl TelemetryLog {
-    /// A log that records nothing (and lets runner panics propagate).
-    pub fn disabled() -> Self {
+    fn with_inner(enabled: bool, writer: Option<Box<dyn Write + Send>>) -> Self {
         TelemetryLog {
-            enabled: false,
+            enabled,
             inner: Mutex::new(Inner {
                 records: Vec::new(),
-                writer: None,
+                writer,
+                lost: Vec::new(),
+                replayed: 0,
             }),
+            faults: None,
+            resume: HashMap::new(),
         }
+    }
+
+    /// A log that records nothing (and lets runner panics propagate).
+    pub fn disabled() -> Self {
+        Self::with_inner(false, None)
     }
 
     /// A log collecting records in memory.
     pub fn in_memory() -> Self {
-        TelemetryLog {
-            enabled: true,
-            inner: Mutex::new(Inner {
-                records: Vec::new(),
-                writer: None,
-            }),
-        }
+        Self::with_inner(true, None)
     }
 
     /// A log that additionally streams each record as one JSON line to
-    /// `writer` (flushed per record, so an interrupted run keeps its trace).
+    /// `writer` (appended in a single write and flushed per record, so an
+    /// interrupted run keeps every completed cell — the write-ahead-log
+    /// property `--resume` depends on).
     pub fn with_writer(writer: Box<dyn Write + Send>) -> Self {
-        TelemetryLog {
-            enabled: true,
-            inner: Mutex::new(Inner {
-                records: Vec::new(),
-                writer: Some(writer),
-            }),
+        Self::with_inner(true, Some(writer))
+    }
+
+    /// Attaches a fault-injection plan the runner will consult (builder
+    /// style). `None` clears it.
+    pub fn with_faults(mut self, plan: Option<FaultPlan>) -> Self {
+        self.faults = plan.filter(FaultPlan::is_active);
+        self
+    }
+
+    /// Seeds the `--resume` replay cache with completed cells loaded from a
+    /// prior run's WAL (builder style). Only clean (`ok`) records are
+    /// cached; failed or torn cells will be re-run.
+    pub fn with_resume(mut self, cells: Vec<CellRecord>) -> Self {
+        for cell in cells.into_iter().filter(CellRecord::ok) {
+            self.resume.insert(cell.key.clone(), cell);
         }
+        self
+    }
+
+    /// The active fault plan, if any.
+    pub fn faults(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// Number of cells in the `--resume` replay cache.
+    pub fn resume_cached(&self) -> usize {
+        self.resume.len()
+    }
+
+    /// The cached record for `key` if it can stand in for a fresh run:
+    /// same strategy, budget and base seed, and it completed cleanly.
+    /// The runner re-records a replayed cell, marking it via
+    /// [`record_replayed`](Self::record_replayed).
+    pub(crate) fn replay(
+        &self,
+        key: &CellKey,
+        strategy: &str,
+        budget: &str,
+        base_seed: u64,
+    ) -> Option<CellRecord> {
+        if !self.enabled {
+            return None;
+        }
+        let cached = self.resume.get(key)?;
+        (cached.strategy == strategy && cached.budget == budget && cached.base_seed == base_seed)
+            .then(|| cached.clone())
     }
 
     /// Whether records are being collected.
@@ -398,35 +464,57 @@ impl TelemetryLog {
         self.enabled
     }
 
+    /// Locks the inner state, recovering from poison: a panicking writer
+    /// must not wedge the remaining cells.
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Records one cell. No-op when disabled.
     pub fn record(&self, record: CellRecord) {
         if !self.enabled {
             return;
         }
-        let mut inner = self.inner.lock().expect("telemetry log poisoned");
+        let mut inner = self.lock();
         if let Some(w) = inner.writer.as_mut() {
             // Telemetry must never take down the run it is observing:
-            // report write errors but keep going.
-            let line = record.to_json();
-            if let Err(e) = writeln!(w, "{line}").and_then(|()| w.flush()) {
-                eprintln!("telemetry: write failed: {e}");
+            // count write errors (the suite exits nonzero when any record
+            // was lost) but keep going. The line goes out in one write so
+            // a crash tears at most the final record.
+            let mut line = record.to_json();
+            line.push('\n');
+            if let Err(e) = w.write_all(line.as_bytes()).and_then(|()| w.flush()) {
+                eprintln!("telemetry: write failed for cell {}: {e}", record.key);
+                let key = record.key.clone();
+                inner.lost.push(key);
             }
         }
         inner.records.push(record);
     }
 
+    /// [`record`](Self::record) for a cell replayed from the resume cache,
+    /// so the summary can report how much work the WAL saved.
+    pub(crate) fn record_replayed(&self, record: CellRecord) {
+        if self.enabled {
+            self.lock().replayed += 1;
+        }
+        self.record(record);
+    }
+
     /// Snapshot of every record so far.
     pub fn records(&self) -> Vec<CellRecord> {
-        self.inner
-            .lock()
-            .expect("telemetry log poisoned")
-            .records
-            .clone()
+        self.lock().records.clone()
+    }
+
+    /// Number of records whose JSONL line could not be written.
+    pub fn write_errors(&self) -> usize {
+        self.lock().lost.len()
     }
 
     /// The end-of-suite summary over every record so far.
     pub fn summary(&self) -> SuiteSummary {
-        let records = self.records();
+        let inner = self.lock();
+        let records = &inner.records;
         let mut slowest: Vec<(CellKey, f64, u64)> = records
             .iter()
             .map(|r| (r.key.clone(), r.wall_ms, r.evals))
@@ -440,11 +528,28 @@ impl TelemetryLog {
             failed: records
                 .iter()
                 .filter(|r| !r.ok())
-                .map(|r| (r.key.clone(), r.failures.clone()))
+                .map(|r| FailedCell {
+                    key: r.key.clone(),
+                    attempts: r.attempts,
+                    failures: r.failures.clone(),
+                })
                 .collect(),
             slowest,
+            lost: inner.lost.clone(),
+            replayed: inner.replayed,
         }
     }
+}
+
+/// One failed cell in the [`SuiteSummary`] / failure manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailedCell {
+    /// The cell.
+    pub key: CellKey,
+    /// Run attempts made (bounded by the retry policy).
+    pub attempts: u32,
+    /// Caught panics and watchdog timeouts from the final attempt.
+    pub failures: Vec<CellFailure>,
 }
 
 /// End-of-suite triage summary: what ran, what was slow, what broke.
@@ -458,21 +563,92 @@ pub struct SuiteSummary {
     /// parallel runs show more than elapsed time).
     pub total_wall_ms: f64,
     /// Failed cells with their caught panics.
-    pub failed: Vec<(CellKey, Vec<CellFailure>)>,
+    pub failed: Vec<FailedCell>,
     /// The slowest cells, hottest first: `(cell, wall_ms, evals)`.
     pub slowest: Vec<(CellKey, f64, u64)>,
+    /// Cells whose telemetry line was lost to a write error.
+    pub lost: Vec<CellKey>,
+    /// Cells replayed from a `--resume` WAL instead of re-run.
+    pub replayed: usize,
+}
+
+impl SuiteSummary {
+    /// Whether the suite degraded in any way a caller must not ignore: a
+    /// cell failed, or a telemetry record was lost. `repro` exits nonzero
+    /// on this.
+    pub fn degraded(&self) -> bool {
+        !self.failed.is_empty() || !self.lost.is_empty()
+    }
+
+    /// The explicit failure manifest as one JSON object: every failed cell
+    /// (with attempts and per-instance messages) and every lost telemetry
+    /// record. Written next to the WAL when a suite degrades.
+    pub fn manifest_json(&self) -> String {
+        let mut s = String::with_capacity(256);
+        s.push_str("{\"schema\":\"anneal-repro-manifest\",\"version\":1,");
+        s.push_str(&format!(
+            "\"cells\":{},\"replayed\":{},\"write_errors\":{},",
+            self.cells,
+            self.replayed,
+            self.lost.len()
+        ));
+        s.push_str("\"failed_cells\":[");
+        for (i, cell) in self.failed.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"table\":\"{}\",\"method\":\"{}\",\"column\":\"{}\",\"attempts\":{},\
+                 \"failures\":[",
+                escape_json(&cell.key.table),
+                escape_json(&cell.key.method),
+                escape_json(&cell.key.column),
+                cell.attempts
+            ));
+            for (j, fail) in cell.failures.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!(
+                    "{{\"instance\":{},\"seed\":{},\"message\":\"{}\"}}",
+                    fail.instance,
+                    fail.seed,
+                    escape_json(&fail.message)
+                ));
+            }
+            s.push_str("]}");
+        }
+        s.push_str("],\"lost_records\":[");
+        for (i, key) in self.lost.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"table\":\"{}\",\"method\":\"{}\",\"column\":\"{}\"}}",
+                escape_json(&key.table),
+                escape_json(&key.method),
+                escape_json(&key.column)
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
 }
 
 impl fmt::Display for SuiteSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "telemetry: {} cells, {} failed, {} evals, {:.1} s of chain time",
+            "telemetry: {} cells, {} failed, {} lost records, {} evals, {:.1} s of chain time",
             self.cells,
             self.failed.len(),
+            self.lost.len(),
             self.total_evals,
             self.total_wall_ms / 1e3
         )?;
+        if self.replayed > 0 {
+            writeln!(f, "resumed: {} cells replayed from the WAL", self.replayed)?;
+        }
         if !self.slowest.is_empty() {
             writeln!(f, "slowest cells:")?;
             for (key, wall_ms, evals) in &self.slowest {
@@ -481,14 +657,20 @@ impl fmt::Display for SuiteSummary {
         }
         if !self.failed.is_empty() {
             writeln!(f, "FAILED cells:")?;
-            for (key, failures) in &self.failed {
-                for fail in failures {
+            for cell in &self.failed {
+                for fail in &cell.failures {
                     writeln!(
                         f,
-                        "  {key} — instance {} (seed {}): {}",
-                        fail.instance, fail.seed, fail.message
+                        "  {} — instance {} (seed {}, {} attempts): {}",
+                        cell.key, fail.instance, fail.seed, cell.attempts, fail.message
                     )?;
                 }
+            }
+        }
+        if !self.lost.is_empty() {
+            writeln!(f, "LOST telemetry records (write failures):")?;
+            for key in &self.lost {
+                writeln!(f, "  {key}")?;
             }
         }
         Ok(())
@@ -582,10 +764,147 @@ mod tests {
         let summary = log.summary();
         assert_eq!(summary.cells, 4);
         assert_eq!(summary.failed.len(), 1);
+        assert_eq!(summary.failed[0].failures[0].instance, 1);
         assert_eq!(summary.slowest[0].0.table, "t2");
         assert_eq!(summary.total_evals, 4 * 3000);
+        assert!(summary.degraded());
         let shown = summary.to_string();
         assert!(shown.contains("FAILED"));
         assert!(shown.contains("instance 1"));
+    }
+
+    #[test]
+    fn clean_summary_is_not_degraded() {
+        let log = TelemetryLog::in_memory();
+        log.record(record("t", 1.0, false));
+        assert!(!log.summary().degraded());
+    }
+
+    /// A writer whose every write fails.
+    struct BrokenWriter;
+    impl Write for BrokenWriter {
+        fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::other("disk on fire"))
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn write_errors_are_counted_and_named() {
+        let log = TelemetryLog::with_writer(Box::new(BrokenWriter));
+        log.record(record("t1", 1.0, false));
+        log.record(record("t2", 2.0, false));
+        assert_eq!(log.write_errors(), 2);
+        // The records themselves survive in memory.
+        assert_eq!(log.records().len(), 2);
+        let summary = log.summary();
+        assert_eq!(summary.lost.len(), 2);
+        assert!(summary.degraded(), "lost records degrade the suite");
+        let shown = summary.to_string();
+        assert!(shown.contains("2 lost records"), "{shown}");
+        assert!(shown.contains("LOST telemetry records"), "{shown}");
+    }
+
+    #[test]
+    fn manifest_json_is_well_formed() {
+        let log = TelemetryLog::with_writer(Box::new(BrokenWriter));
+        log.record(record("bad", 1.0, true));
+        let manifest = log.summary().manifest_json();
+        let parsed = crate::checkpoint::Json::parse(&manifest).expect("manifest parses");
+        assert_eq!(
+            parsed.get("schema").unwrap().as_str(),
+            Some("anneal-repro-manifest")
+        );
+        assert_eq!(
+            parsed
+                .get("write_errors")
+                .unwrap()
+                .as_u64_checked()
+                .unwrap(),
+            1
+        );
+        let failed = parsed.get("failed_cells").unwrap().as_arr().unwrap();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].get("table").unwrap().as_str(), Some("bad"));
+        let msgs = failed[0].get("failures").unwrap().as_arr().unwrap();
+        assert!(msgs[0]
+            .get("message")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("boom"));
+        assert_eq!(
+            parsed.get("lost_records").unwrap().as_arr().unwrap().len(),
+            1
+        );
+    }
+
+    /// A writer that panics on its first write, then works.
+    struct PanickingWriter {
+        armed: bool,
+    }
+    impl Write for PanickingWriter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if self.armed {
+                self.armed = false;
+                panic!("writer exploded");
+            }
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn poisoned_mutex_does_not_wedge_later_cells() {
+        let log = TelemetryLog::with_writer(Box::new(PanickingWriter { armed: true }));
+        let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            log.record(record("t1", 1.0, false));
+        }));
+        assert!(boom.is_err(), "first record panics in the writer");
+        // The mutex is now poisoned; the log must recover, not panic.
+        log.record(record("t2", 2.0, false));
+        let records = log.records();
+        assert_eq!(records.len(), 1, "the panicking record was lost mid-write");
+        assert_eq!(records[0].key.table, "t2");
+        assert_eq!(log.summary().cells, 1);
+    }
+
+    #[test]
+    fn replay_cache_matches_on_full_identity() {
+        let cached = record("t", 3.0, false);
+        let key = cached.key.clone();
+        let log = TelemetryLog::in_memory().with_resume(vec![cached]);
+        assert_eq!(log.resume_cached(), 1);
+        let hit = log.replay(&key, "Figure1", "1500 evals", 1985);
+        assert_eq!(hit.as_ref().map(|r| r.key.clone()), Some(key.clone()));
+        assert!(log.replay(&key, "Figure2", "1500 evals", 1985).is_none());
+        assert!(log.replay(&key, "Figure1", "999 evals", 1985).is_none());
+        assert!(log.replay(&key, "Figure1", "1500 evals", 7).is_none());
+        let other = CellKey::new("other", "g = 1", "6 sec");
+        assert!(log.replay(&other, "Figure1", "1500 evals", 1985).is_none());
+    }
+
+    #[test]
+    fn failed_cells_are_not_cached_for_replay() {
+        let bad = record("t", 3.0, true);
+        let key = bad.key.clone();
+        let log = TelemetryLog::in_memory().with_resume(vec![bad]);
+        assert_eq!(log.resume_cached(), 0);
+        assert!(log.replay(&key, "Figure1", "1500 evals", 1985).is_none());
+    }
+
+    #[test]
+    fn replayed_cells_are_counted_in_summary() {
+        let log = TelemetryLog::in_memory();
+        log.record_replayed(record("t", 1.0, false));
+        log.record(record("u", 1.0, false));
+        let summary = log.summary();
+        assert_eq!(summary.cells, 2);
+        assert_eq!(summary.replayed, 1);
+        assert!(summary.to_string().contains("1 cells replayed"));
     }
 }

@@ -1,0 +1,153 @@
+//! End-to-end crash-safety tests: a run killed mid-suite (torn WAL) and a
+//! chaos run with injected panics both resume to tables bitwise-identical
+//! to an uninterrupted run.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use anneal_experiments::{
+    checkpoint, tables::table4_2b, FaultPlan, RetryPolicy, SuiteConfig, Table, TelemetryLog,
+    WalMeta,
+};
+
+/// A WAL sink the test can inspect after the "process" dies.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    fn contents(&self) -> String {
+        String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn config() -> SuiteConfig {
+    // Tiny budgets: table 4.2(b) is 13 g functions x 2 strategies = 26
+    // cells, a few dozen evaluations each.
+    SuiteConfig::scaled(2000).with_seed(7)
+}
+
+fn assert_bitwise_identical(a: &Table, b: &Table, what: &str) {
+    assert_eq!(a.rows.len(), b.rows.len(), "{what}: row count");
+    for ((label_a, row_a), (label_b, row_b)) in a.rows.iter().zip(&b.rows) {
+        assert_eq!(label_a, label_b, "{what}: row labels");
+        for (x, y) in row_a.iter().zip(row_b) {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{what}: {label_a}: {x} != {y} bitwise"
+            );
+        }
+    }
+    assert_eq!(format!("{a}"), format!("{b}"), "{what}: rendered table");
+}
+
+#[test]
+fn killed_run_resumes_bitwise_identical() {
+    let config = config();
+    let clean = table4_2b::run_logged(&config, &TelemetryLog::in_memory());
+
+    // First "process": streams the WAL, then dies. Simulate the kill by
+    // truncating the log to its header + 10 records + half a record — the
+    // torn final line a crash mid-`write` leaves behind.
+    let buf = SharedBuf::default();
+    let wal = TelemetryLog::with_writer(Box::new(buf.clone()));
+    {
+        let mut w = buf.0.lock().unwrap();
+        writeln!(
+            w,
+            "{}",
+            WalMeta::new(config.seed, config.scale.divisor).header_line()
+        )
+        .unwrap();
+    }
+    table4_2b::run_logged(&config, &wal);
+
+    let full = buf.contents();
+    let lines: Vec<&str> = full.lines().collect();
+    assert_eq!(lines.len(), 27, "header + 26 cell records");
+    let mut killed = lines[..11].join("\n");
+    killed.push('\n');
+    killed.push_str(&lines[11][..lines[11].len() / 2]);
+
+    let checkpoint = checkpoint::load_str(&killed).expect("killed WAL still loads");
+    assert!(checkpoint.torn, "the half-written record reads as torn");
+    assert_eq!(checkpoint.cells.len(), 10);
+    assert_eq!(
+        checkpoint.meta,
+        Some(WalMeta::new(config.seed, config.scale.divisor))
+    );
+
+    // Second "process": resumes from the torn WAL.
+    let resumed_log = TelemetryLog::in_memory().with_resume(checkpoint.cells);
+    let resumed = table4_2b::run_logged(&config, &resumed_log);
+
+    assert_bitwise_identical(&clean, &resumed, "kill + resume");
+    let summary = resumed_log.summary();
+    assert_eq!(summary.replayed, 10, "the 10 intact cells were not re-run");
+    assert_eq!(summary.cells, 26);
+    assert!(!summary.degraded());
+}
+
+#[test]
+fn chaos_run_with_retries_matches_clean_run() {
+    let config = config().with_retry(RetryPolicy::new(6, Duration::ZERO));
+    let clean = table4_2b::run_logged(&config, &TelemetryLog::in_memory());
+
+    let plan = FaultPlan::parse("seed=11,panic=0.2").unwrap();
+    let chaos_log = TelemetryLog::in_memory().with_faults(Some(plan));
+    let chaos = table4_2b::run_logged(&config, &chaos_log);
+
+    let summary = chaos_log.summary();
+    assert!(!summary.degraded(), "retries absorbed every injected panic");
+    assert!(
+        chaos_log.records().iter().any(|r| r.attempts > 1),
+        "the fault plan injected at least one panic"
+    );
+    assert_bitwise_identical(&clean, &chaos, "chaos + retries");
+}
+
+#[test]
+fn degraded_chaos_run_resumes_to_the_clean_tables() {
+    let config = config();
+    let clean = table4_2b::run_logged(&config, &TelemetryLog::in_memory());
+
+    // No retries: some cells fail outright and the run is degraded.
+    let plan = FaultPlan::parse("seed=3,panic=0.15").unwrap();
+    let buf = SharedBuf::default();
+    let chaos_log = TelemetryLog::with_writer(Box::new(buf.clone())).with_faults(Some(plan));
+    table4_2b::run_logged(&config, &chaos_log);
+    let summary = chaos_log.summary();
+    assert!(
+        summary.degraded(),
+        "without retries the injected panics stick"
+    );
+    assert!(!summary.failed.is_empty());
+
+    // Resume replays only the cells that succeeded; failed ones re-run
+    // clean (no fault plan — the chaos monkey died with the process).
+    let checkpoint = checkpoint::load_str(&buf.contents()).expect("chaos WAL loads");
+    assert!(!checkpoint.torn);
+    let resumed_log = TelemetryLog::in_memory().with_resume(checkpoint.cells);
+    let resumed = table4_2b::run_logged(&config, &resumed_log);
+
+    let resumed_summary = resumed_log.summary();
+    assert!(!resumed_summary.degraded(), "the resume healed the suite");
+    assert_eq!(
+        resumed_summary.replayed,
+        26 - summary.failed.len(),
+        "only the failed cells were re-run"
+    );
+    assert_bitwise_identical(&clean, &resumed, "degraded chaos + resume");
+}
