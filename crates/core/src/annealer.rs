@@ -9,6 +9,7 @@ use crate::problem::Problem;
 use crate::stats::RunResult;
 use crate::strategy::{Figure1, Figure2, Rejectionless, DEFAULT_EQUILIBRIUM};
 use crate::telemetry::RunTelemetry;
+use crate::trace::{ChainObserver, NoopObserver};
 
 /// Which of the paper's two control strategies to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -128,19 +129,32 @@ impl<'a, P: Problem> Annealer<'a, P> {
     /// it is reset at the start of the run, so a `GFunction` can be reused
     /// across runs.
     pub fn run(&self, g: &mut GFunction) -> RunResult<P::State> {
-        self.dispatch(g)
+        self.dispatch(g, &mut NoopObserver)
+    }
+
+    /// Runs the configured strategy, reporting structured chain events
+    /// (temperature stages, energy samples, best improvements, stop) to
+    /// `obs` — see [`ChainObserver`]. With [`NoopObserver`] this is exactly
+    /// [`run`](Self::run); tracing never perturbs the RNG, so results are
+    /// bitwise-identical either way.
+    pub fn run_traced<O: ChainObserver>(
+        &self,
+        g: &mut GFunction,
+        obs: &mut O,
+    ) -> RunResult<P::State> {
+        self.dispatch(g, obs)
     }
 
     /// Runs the configured strategy and also returns the run's
     /// [`RunTelemetry`] (wall time, throughput, per-temperature breakdown).
     pub fn run_instrumented(&self, g: &mut GFunction) -> (RunResult<P::State>, RunTelemetry) {
         let started = std::time::Instant::now();
-        let result = self.dispatch(g);
+        let result = self.dispatch(g, &mut NoopObserver);
         let telemetry = RunTelemetry::capture(&result, started.elapsed());
         (result, telemetry)
     }
 
-    fn dispatch(&self, g: &mut GFunction) -> RunResult<P::State> {
+    fn dispatch<O: ChainObserver>(&self, g: &mut GFunction, obs: &mut O) -> RunResult<P::State> {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let start = match &self.start {
             Some(s) => s.clone(),
@@ -151,16 +165,16 @@ impl<'a, P: Problem> Annealer<'a, P> {
                 equilibrium: self.equilibrium,
                 trajectory_every: self.trajectory_every,
             }
-            .run(self.problem, g, start, self.budget, &mut rng),
+            .run_traced(self.problem, g, start, self.budget, &mut rng, obs),
             Strategy::Figure2 => Figure2 {
                 equilibrium: self.equilibrium,
                 trajectory_every: self.trajectory_every,
             }
-            .run(self.problem, g, start, self.budget, &mut rng),
+            .run_traced(self.problem, g, start, self.budget, &mut rng, obs),
             Strategy::Rejectionless => Rejectionless {
                 trajectory_every: self.trajectory_every,
             }
-            .run(self.problem, g, start, self.budget, &mut rng),
+            .run_traced(self.problem, g, start, self.budget, &mut rng, obs),
         }
     }
 }
@@ -235,6 +249,26 @@ mod tests {
             let b = run();
             assert_eq!(a.best_cost, b.best_cost);
             assert_eq!(a.stats, b.stats);
+        }
+    }
+
+    #[test]
+    fn run_traced_matches_run_for_every_strategy() {
+        use crate::trace::TraceCollector;
+        let p = BitCount;
+        for strategy in [Strategy::Figure1, Strategy::Figure2] {
+            let mut annealer = Annealer::new(&p);
+            annealer
+                .strategy(strategy)
+                .budget(Budget::evaluations(2_000))
+                .seed(5);
+            let plain = annealer.run(&mut GFunction::six_temp_annealing(2.0));
+            let mut obs = TraceCollector::new();
+            let traced = annealer.run_traced(&mut GFunction::six_temp_annealing(2.0), &mut obs);
+            assert_eq!(plain.best_cost.to_bits(), traced.best_cost.to_bits());
+            assert_eq!(plain.stats, traced.stats);
+            assert_eq!(obs.trace().stages.len(), traced.stats.per_temp.len());
+            assert!(obs.trace().stop.is_some());
         }
     }
 

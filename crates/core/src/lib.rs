@@ -59,6 +59,7 @@ pub mod accept;
 mod annealer;
 mod budget;
 pub mod local;
+pub mod metrics;
 mod problem;
 mod range;
 mod schedule;
@@ -66,6 +67,7 @@ mod seeds;
 mod stats;
 pub mod strategy;
 pub mod telemetry;
+pub mod trace;
 pub mod tune;
 pub mod watchdog;
 
@@ -79,6 +81,10 @@ pub use seeds::derive_seed;
 pub use stats::{AdvanceReason, RunResult, RunStats, StopReason, TempStats};
 pub use strategy::{Figure1, Figure2, Rejectionless, DEFAULT_EQUILIBRIUM};
 pub use telemetry::{RunTelemetry, TelemetrySink};
+pub use trace::{
+    ChainObserver, ChainTrace, NoopObserver, StageTrace, StopTrace, TraceCollector,
+    DEFAULT_TRACE_SAMPLES,
+};
 pub use tune::{CandidateOutcome, TuneReport, Tuner};
 
 // Re-export the rand traits that appear in this crate's public API so

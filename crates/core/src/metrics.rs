@@ -1,0 +1,375 @@
+//! Process-wide metrics: atomic counters and log-linear histograms,
+//! snapshotable as JSON.
+//!
+//! A [`Registry`] hands out named [`Counter`]s and [`Histogram`]s; both are
+//! lock-free to update (a handful of atomic operations), so they are safe to
+//! touch from the experiment harness's worker threads. [`Registry::global`]
+//! is the process-wide instance the `repro` binary snapshots via
+//! `--metrics PATH`; libraries and tests can also build private registries.
+//!
+//! Histograms are log-linear (HDR-style): values group by power of two, each
+//! octave split into [`SUB_BUCKETS`] linear sub-buckets, so relative error is
+//! bounded by `1/SUB_BUCKETS` across the whole `u64` range while the bucket
+//! table stays a few kilobytes. The snapshot format is documented in
+//! BENCHMARKS.md ("Metrics snapshots").
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Monotonic counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Linear sub-buckets per power-of-two octave: relative bucket width (and so
+/// worst-case quantile error) is `1/8`.
+pub const SUB_BUCKETS: usize = 8;
+const SUB_BITS: u32 = SUB_BUCKETS.trailing_zeros();
+const BUCKETS: usize = SUB_BUCKETS + (64 - SUB_BITS as usize) * SUB_BUCKETS;
+
+/// Index of the log-linear bucket holding `v`.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let group = (msb - SUB_BITS) as usize;
+    let sub = ((v >> (msb - SUB_BITS)) as usize) & (SUB_BUCKETS - 1);
+    SUB_BUCKETS + group * SUB_BUCKETS + sub
+}
+
+/// Smallest value mapping to bucket `index` (the bucket covers
+/// `[lo, lo_of_next)`).
+fn bucket_lo(index: usize) -> u64 {
+    if index < SUB_BUCKETS {
+        return index as u64;
+    }
+    let group = (index - SUB_BUCKETS) / SUB_BUCKETS;
+    let sub = (index - SUB_BUCKETS) % SUB_BUCKETS;
+    let msb = group as u32 + SUB_BITS;
+    (1u64 << msb) + ((sub as u64) << (msb - SUB_BITS))
+}
+
+/// Lock-free log-linear histogram of `u64` samples.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        let m = self.min.load(Ordering::Relaxed);
+        if m == u64::MAX {
+            0
+        } else {
+            m
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Lower bound of the bucket containing the `q`-quantile (`0 < q <= 1`);
+    /// 0 when empty. Accurate to the bucket's relative width
+    /// (`1/`[`SUB_BUCKETS`]).
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return bucket_lo(i);
+            }
+        }
+        self.max()
+    }
+
+    /// Non-empty buckets as `(lo, hi, count)` with `hi` exclusive.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                if n == 0 {
+                    return None;
+                }
+                let lo = bucket_lo(i);
+                let hi = if i + 1 < BUCKETS {
+                    bucket_lo(i + 1)
+                } else {
+                    u64::MAX
+                };
+                Some((lo, hi, n))
+            })
+            .collect()
+    }
+}
+
+/// A named collection of counters and histograms.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+/// The process-wide registry used by the experiment harness.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+        m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// The counter named `name`, created at zero on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = Self::lock(&self.counters);
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(Counter::new()))
+            .clone()
+    }
+
+    /// The histogram named `name`, created empty on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = Self::lock(&self.histograms);
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(Histogram::new()))
+            .clone()
+    }
+
+    /// Serializes every metric as one JSON object (schema
+    /// `anneal-metrics` v1; see BENCHMARKS.md). Counter and histogram names
+    /// are emitted in sorted order so snapshots diff cleanly.
+    pub fn snapshot_json(&self) -> String {
+        let mut out = String::from("{\"schema\":\"anneal-metrics\",\"version\":1,\"counters\":[");
+        {
+            let map = Self::lock(&self.counters);
+            for (i, (name, c)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"name\":\"{}\",\"value\":{}}}",
+                    escape(name),
+                    c.get()
+                ));
+            }
+        }
+        out.push_str("],\"histograms\":[");
+        {
+            let map = Self::lock(&self.histograms);
+            for (i, (name, h)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"name\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\
+                     \"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[",
+                    escape(name),
+                    h.count(),
+                    h.sum(),
+                    h.min(),
+                    h.max(),
+                    h.quantile(0.50),
+                    h.quantile(0.90),
+                    h.quantile(0.99),
+                ));
+                for (j, (lo, hi, n)) in h.nonzero_buckets().into_iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("{{\"lo\":{lo},\"hi\":{hi},\"count\":{n}}}"));
+                }
+                out.push_str("]}");
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_exact_for_small_values() {
+        for v in 0..SUB_BUCKETS as u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_lo(v as usize), v);
+        }
+        let mut last = 0;
+        for v in [8u64, 9, 15, 16, 17, 100, 1_000, 1 << 20, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(i >= last, "index not monotone at {v}");
+            last = i;
+            let lo = bucket_lo(i);
+            assert!(lo <= v, "lo {lo} > v {v}");
+            if i + 1 < BUCKETS {
+                assert!(bucket_lo(i + 1) > v, "v {v} outside bucket {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_relative_error_is_bounded() {
+        for v in [100u64, 12_345, 1 << 30, 1 << 50] {
+            let lo = bucket_lo(bucket_index(v));
+            let err = (v - lo) as f64 / v as f64;
+            assert!(err <= 1.0 / SUB_BUCKETS as f64 + 1e-9, "err {err} at {v}");
+        }
+    }
+
+    #[test]
+    fn histogram_tracks_count_sum_min_max() {
+        let h = Histogram::new();
+        assert_eq!((h.count(), h.min(), h.max()), (0, 0, 0));
+        for v in [5u64, 100, 3, 10_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 10_108);
+        assert_eq!(h.min(), 3);
+        assert_eq!(h.max(), 10_000);
+    }
+
+    #[test]
+    fn quantiles_land_in_the_right_region() {
+        let h = Histogram::new();
+        for v in 1..=1_000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        assert!((400..=500).contains(&p50), "p50 = {p50}");
+        assert!((900..=990).contains(&p99), "p99 = {p99}");
+        assert_eq!(Histogram::new().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn registry_returns_shared_handles() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.inc();
+        b.add(2);
+        assert_eq!(r.counter("x").get(), 3);
+        let h = r.histogram("y");
+        h.record(7);
+        assert_eq!(r.histogram("y").count(), 1);
+    }
+
+    #[test]
+    fn global_registry_is_a_singleton() {
+        global().counter("test.global.singleton").inc();
+        assert!(global().counter("test.global.singleton").get() >= 1);
+    }
+
+    #[test]
+    fn snapshot_json_is_wellformed_and_sorted() {
+        let r = Registry::new();
+        r.counter("b.second").add(2);
+        r.counter("a.first").inc();
+        r.histogram("lat").record(42);
+        let json = r.snapshot_json();
+        assert!(json.starts_with("{\"schema\":\"anneal-metrics\",\"version\":1,"));
+        let a = json.find("a.first").unwrap();
+        let b = json.find("b.second").unwrap();
+        assert!(a < b, "counters sorted by name");
+        assert!(json.contains("\"p50\":"));
+        // 42 falls in the log-linear bucket [40, 44).
+        assert!(json.contains("\"buckets\":[{\"lo\":40,\"hi\":44,\"count\":1}]"));
+    }
+}

@@ -1,5 +1,8 @@
 //! Run outcomes and instrumentation.
 
+use std::fmt;
+use std::str::FromStr;
+
 /// Why a run (or a temperature stage) ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StopReason {
@@ -11,11 +14,31 @@ pub enum StopReason {
 }
 
 impl StopReason {
-    /// Stable lower-case name, used in telemetry records.
+    /// Stable lower-case name, used in telemetry and trace records.
     pub fn as_str(&self) -> &'static str {
         match self {
             StopReason::Budget => "budget",
             StopReason::Equilibrium => "equilibrium",
+        }
+    }
+}
+
+impl fmt::Display for StopReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for StopReason {
+    type Err = String;
+
+    /// Parses the [`as_str`](Self::as_str) spelling back; used by the trace
+    /// parser in the experiments crate.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "budget" => Ok(StopReason::Budget),
+            "equilibrium" => Ok(StopReason::Equilibrium),
+            other => Err(format!("unknown stop reason `{other}`")),
         }
     }
 }
@@ -31,11 +54,31 @@ pub enum AdvanceReason {
 }
 
 impl AdvanceReason {
-    /// Stable lower-case name, used in telemetry records.
+    /// Stable lower-case name, used in telemetry and trace records.
     pub fn as_str(&self) -> &'static str {
         match self {
             AdvanceReason::Budget => "budget",
             AdvanceReason::Equilibrium => "equilibrium",
+        }
+    }
+}
+
+impl fmt::Display for AdvanceReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for AdvanceReason {
+    type Err = String;
+
+    /// Parses the [`as_str`](Self::as_str) spelling back; used by the trace
+    /// parser in the experiments crate.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "budget" => Ok(AdvanceReason::Budget),
+            "equilibrium" => Ok(AdvanceReason::Equilibrium),
+            other => Err(format!("unknown advance reason `{other}`")),
         }
     }
 }
@@ -143,6 +186,20 @@ impl<S> RunResult<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn reasons_display_and_parse_round_trip() {
+        for r in [StopReason::Budget, StopReason::Equilibrium] {
+            assert_eq!(r.to_string(), r.as_str());
+            assert_eq!(r.as_str().parse::<StopReason>().unwrap(), r);
+        }
+        for r in [AdvanceReason::Budget, AdvanceReason::Equilibrium] {
+            assert_eq!(r.to_string(), r.as_str());
+            assert_eq!(r.as_str().parse::<AdvanceReason>().unwrap(), r);
+        }
+        assert!("frozen".parse::<StopReason>().is_err());
+        assert!("".parse::<AdvanceReason>().is_err());
+    }
 
     #[test]
     fn acceptance_rate_handles_zero_proposals() {

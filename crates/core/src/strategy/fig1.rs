@@ -8,6 +8,7 @@ use crate::accept::GFunction;
 use crate::budget::Budget;
 use crate::problem::Problem;
 use crate::stats::{RunResult, StopReason};
+use crate::trace::{ChainObserver, NoopObserver};
 
 /// The paper's Figure-1 control strategy.
 ///
@@ -112,16 +113,37 @@ impl Figure1 {
         budget: Budget,
         rng: &mut dyn Rng,
     ) -> RunResult<P::State> {
+        self.run_traced(problem, g, start, budget, rng, &mut NoopObserver)
+    }
+
+    /// Like [`run`](Self::run), reporting structured chain events to `obs`.
+    ///
+    /// The observer parameter is monomorphized: with [`NoopObserver`] this
+    /// compiles to exactly `run` (no clock reads, no extra branches), and
+    /// tracing never touches the RNG, so a traced run visits bitwise-identical
+    /// states under the same seed.
+    pub fn run_traced<P: Problem, O: ChainObserver>(
+        &self,
+        problem: &P,
+        g: &mut GFunction,
+        start: P::State,
+        budget: Budget,
+        rng: &mut dyn Rng,
+        obs: &mut O,
+    ) -> RunResult<P::State> {
         g.reset();
         let k = g.temperatures();
         let mut state = start;
         let mut cost = problem.cost(&state);
         let initial_cost = cost;
-        let mut run = Run::<P>::new(budget, k, self.trajectory_every, &state, cost);
+        let mut run = Run::<P>::new(budget, k, self.trajectory_every, &state, cost, O::ENABLED);
+        if O::ENABLED {
+            obs.on_run_start(initial_cost, k);
+        }
 
         let stop = loop {
             if run.meter.exhausted() {
-                if !run.advance_temp(true) {
+                if !run.advance_temp(true, obs) {
                     break StopReason::Budget;
                 }
                 continue;
@@ -140,13 +162,13 @@ impl Figure1 {
                 run.counter = 0;
                 run.stats.accepted_downhill += 1;
                 g.note_downhill();
-                run.observe(&state, cost);
+                run.observe(&state, cost, obs);
             } else {
                 // Step 4: uphill or flat.
                 if run.counter >= self.equilibrium {
                     // Equilibrium reached: drop j, advance or stop.
                     problem.undo(&mut state, &mv);
-                    if !run.advance_temp(false) {
+                    if !run.advance_temp(false, obs) {
                         break StopReason::Equilibrium;
                     }
                 } else if g.decide_figure1(run.temp, cost, new_cost, rng) {
@@ -159,9 +181,12 @@ impl Figure1 {
                     run.stats.rejected_uphill += 1;
                 }
             }
+            if O::ENABLED {
+                obs.on_energy(run.total_evals, cost);
+            }
         };
 
-        run.finish(stop, initial_cost, cost)
+        run.finish(stop, initial_cost, cost, obs)
     }
 
     /// Like [`run`](Self::run), additionally feeding a timed
@@ -330,6 +355,47 @@ mod tests {
         assert!(
             !r.stats.per_temp.is_empty(),
             "wall-clock runs still record per-temperature telemetry"
+        );
+    }
+
+    #[test]
+    fn traced_run_is_bitwise_identical_and_consistent() {
+        use crate::trace::TraceCollector;
+        let p = BitCount;
+        let mut g1 = GFunction::six_temp_annealing(2.0);
+        let mut g2 = GFunction::six_temp_annealing(2.0);
+        let untraced = run_with(&mut g1, 8_000, 33);
+        let mut rng = StdRng::seed_from_u64(33);
+        let start = p.random_state(&mut rng);
+        let mut obs = TraceCollector::new();
+        let traced = Figure1::default().run_traced(
+            &p,
+            &mut g2,
+            start,
+            Budget::evaluations(8_000),
+            &mut rng,
+            &mut obs,
+        );
+        // Tracing never touches the RNG: identical to the last bit.
+        assert_eq!(untraced.best_cost.to_bits(), traced.best_cost.to_bits());
+        assert_eq!(untraced.final_cost.to_bits(), traced.final_cost.to_bits());
+        assert_eq!(untraced.stats, traced.stats);
+        // The trace mirrors the run's own accounting.
+        let t = obs.trace();
+        assert_eq!(t.initial_cost, traced.initial_cost);
+        assert_eq!(t.stages.len(), traced.stats.per_temp.len());
+        for (st, ts) in t.stages.iter().zip(&traced.stats.per_temp) {
+            assert_eq!(&st.stats, ts);
+        }
+        let stop = t.stop.expect("stop event recorded");
+        assert_eq!(stop.reason, traced.stop);
+        assert_eq!(stop.final_cost.to_bits(), traced.final_cost.to_bits());
+        assert_eq!(stop.best_cost.to_bits(), traced.best_cost.to_bits());
+        assert!(!t.samples.is_empty(), "energy trajectory sampled");
+        assert_eq!(
+            t.bests.last().map(|&(_, c)| c),
+            Some(traced.best_cost),
+            "last best event is the final best"
         );
     }
 

@@ -8,6 +8,7 @@ use crate::accept::GFunction;
 use crate::budget::Budget;
 use crate::problem::Problem;
 use crate::stats::{RunResult, StopReason};
+use crate::trace::{ChainObserver, NoopObserver};
 
 /// The paper's Figure-2 control strategy.
 ///
@@ -77,17 +78,36 @@ impl Figure2 {
         budget: Budget,
         rng: &mut dyn Rng,
     ) -> RunResult<P::State> {
+        self.run_traced(problem, g, start, budget, rng, &mut NoopObserver)
+    }
+
+    /// Like [`run`](Self::run), reporting structured chain events to `obs`.
+    ///
+    /// The observer parameter is monomorphized: with [`NoopObserver`] this
+    /// compiles to exactly `run`, and tracing never touches the RNG.
+    pub fn run_traced<P: Problem, O: ChainObserver>(
+        &self,
+        problem: &P,
+        g: &mut GFunction,
+        start: P::State,
+        budget: Budget,
+        rng: &mut dyn Rng,
+        obs: &mut O,
+    ) -> RunResult<P::State> {
         g.reset();
         let k = g.temperatures();
         let mut state = start;
         let mut cost = problem.cost(&state);
         let initial_cost = cost;
-        let mut run = Run::<P>::new(budget, k, self.trajectory_every, &state, cost);
+        let mut run = Run::<P>::new(budget, k, self.trajectory_every, &state, cost, O::ENABLED);
+        if O::ENABLED {
+            obs.on_run_start(initial_cost, k);
+        }
 
         let stop = 'run: loop {
             // Step 2: descend to a local optimum.
             loop {
-                if run.meter.exhausted() && !run.advance_temp(true) {
+                if run.meter.exhausted() && !run.advance_temp(true, obs) {
                     break 'run StopReason::Budget;
                 }
                 let mut probes = 0;
@@ -99,6 +119,9 @@ impl Figure2 {
                         cost = problem.cost(&state);
                         run.charge(1);
                         run.stats.accepted_downhill += 1;
+                        if O::ENABLED {
+                            obs.on_energy(run.total_evals, cost);
+                        }
                     }
                     None => break,
                 }
@@ -106,14 +129,14 @@ impl Figure2 {
             run.stats.descents += 1;
 
             // Step 3: update best.
-            run.observe(&state, cost);
+            run.observe(&state, cost, obs);
 
             // Steps 4 & 5: uphill kicks until one is accepted.
             loop {
-                if run.counter >= self.equilibrium && !run.advance_temp(false) {
+                if run.counter >= self.equilibrium && !run.advance_temp(false, obs) {
                     break 'run StopReason::Equilibrium;
                 }
-                if run.meter.exhausted() && !run.advance_temp(true) {
+                if run.meter.exhausted() && !run.advance_temp(true, obs) {
                     break 'run StopReason::Budget;
                 }
                 run.counter += 1;
@@ -133,14 +156,20 @@ impl Figure2 {
                         run.stats.accepted_uphill += 1;
                     }
                     cost = new_cost;
+                    if O::ENABLED {
+                        obs.on_energy(run.total_evals, cost);
+                    }
                     continue 'run; // back to Step 2
                 }
                 problem.undo(&mut state, &mv);
                 run.stats.rejected_uphill += 1;
+                if O::ENABLED {
+                    obs.on_energy(run.total_evals, cost);
+                }
             }
         };
 
-        run.finish(stop, initial_cost, cost)
+        run.finish(stop, initial_cost, cost, obs)
     }
 
     /// Like [`run`](Self::run), additionally feeding a timed

@@ -21,9 +21,12 @@ pub use fig1::Figure1;
 pub use fig2::Figure2;
 pub use rejectionless::Rejectionless;
 
+use std::time::Instant;
+
 use crate::budget::{Budget, Meter};
 use crate::problem::Problem;
 use crate::stats::{AdvanceReason, RunResult, RunStats, StopReason, TempStats};
+use crate::trace::ChainObserver;
 
 /// Default equilibrium counter limit `n` (the paper states the mechanism but
 /// not the constant; see DESIGN.md).
@@ -46,6 +49,9 @@ pub(crate) struct Run<P: Problem> {
     /// Cumulative-counter snapshot at the start of the current temperature
     /// stage, for the per-temperature breakdown.
     stage_mark: StageMark,
+    /// Start of the current temperature stage; populated only when the run
+    /// has an enabled [`ChainObserver`] (untraced runs never read the clock).
+    stage_started: Option<Instant>,
 }
 
 /// Snapshot of the cumulative counters at a temperature boundary.
@@ -59,12 +65,15 @@ struct StageMark {
 }
 
 impl<P: Problem> Run<P> {
+    /// `traced` is the caller's `O::ENABLED`: it decides whether stage wall
+    /// times are measured at all.
     pub fn new(
         budget: Budget,
         k: usize,
         trajectory_every: u64,
         start: &P::State,
         cost: f64,
+        traced: bool,
     ) -> Self {
         let per_temp = budget.split(k);
         Run {
@@ -80,6 +89,7 @@ impl<P: Problem> Run<P> {
             best_state: start.clone(),
             best_cost: cost,
             stage_mark: StageMark::default(),
+            stage_started: if traced { Some(Instant::now()) } else { None },
         }
     }
 
@@ -98,17 +108,20 @@ impl<P: Problem> Run<P> {
     }
 
     /// Records a new best state if `cost` improves on the incumbent.
-    pub fn observe(&mut self, state: &P::State, cost: f64) {
+    pub fn observe<O: ChainObserver>(&mut self, state: &P::State, cost: f64, obs: &mut O) {
         if cost < self.best_cost {
             self.best_cost = cost;
             self.best_state = state.clone();
+            if O::ENABLED {
+                obs.on_best(self.total_evals, cost);
+            }
         }
     }
 
     /// Advances to the next temperature if one remains, resetting the
     /// equilibrium counter and the per-temperature meter. Returns `false`
     /// when already at the last temperature (the caller stops the run).
-    pub fn advance_temp(&mut self, due_to_budget: bool) -> bool {
+    pub fn advance_temp<O: ChainObserver>(&mut self, due_to_budget: bool, obs: &mut O) -> bool {
         let reason = if due_to_budget {
             AdvanceReason::Budget
         } else {
@@ -117,7 +130,7 @@ impl<P: Problem> Run<P> {
         if self.temp + 1 >= self.k {
             return false;
         }
-        self.close_stage(reason);
+        self.close_stage(reason, obs);
         self.temp += 1;
         self.counter = 0;
         self.meter = Meter::new(self.per_temp);
@@ -130,8 +143,9 @@ impl<P: Problem> Run<P> {
     }
 
     /// Records the finished temperature stage as the delta between the
-    /// cumulative counters and the last boundary snapshot.
-    fn close_stage(&mut self, ended_by: AdvanceReason) {
+    /// cumulative counters and the last boundary snapshot, reporting it (with
+    /// its wall time) to the observer.
+    fn close_stage<O: ChainObserver>(&mut self, ended_by: AdvanceReason, obs: &mut O) {
         let mark = self.stage_mark;
         let entry = TempStats {
             temp: self.temp,
@@ -142,6 +156,11 @@ impl<P: Problem> Run<P> {
             rejected_uphill: self.stats.rejected_uphill - mark.rejected_uphill,
             ended_by,
         };
+        if O::ENABLED {
+            let wall = self.stage_started.map(|t| t.elapsed()).unwrap_or_default();
+            obs.on_stage(&entry, wall);
+            self.stage_started = Some(Instant::now());
+        }
         self.stats.per_temp.push(entry);
         self.stage_mark = StageMark {
             evals: self.stats.evals,
@@ -155,17 +174,21 @@ impl<P: Problem> Run<P> {
     /// Closes the final temperature stage and assembles the [`RunResult`].
     /// Every strategy ends its run through here so the per-temperature
     /// breakdown always covers the whole run.
-    pub fn finish(
+    pub fn finish<O: ChainObserver>(
         mut self,
         stop: StopReason,
         initial_cost: f64,
         final_cost: f64,
+        obs: &mut O,
     ) -> RunResult<P::State> {
         let ended_by = match stop {
             StopReason::Budget => AdvanceReason::Budget,
             StopReason::Equilibrium => AdvanceReason::Equilibrium,
         };
-        self.close_stage(ended_by);
+        self.close_stage(ended_by, obs);
+        if O::ENABLED {
+            obs.on_stop(stop, self.total_evals, final_cost, self.best_cost);
+        }
         RunResult {
             best_state: self.best_state,
             best_cost: self.best_cost,

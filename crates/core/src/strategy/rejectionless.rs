@@ -22,6 +22,7 @@ use crate::accept::GFunction;
 use crate::budget::Budget;
 use crate::problem::Problem;
 use crate::stats::{RunResult, StopReason};
+use crate::trace::{ChainObserver, NoopObserver};
 
 /// The \[GREE84\] rejectionless strategy.
 ///
@@ -54,19 +55,38 @@ impl Rejectionless {
         budget: Budget,
         rng: &mut dyn Rng,
     ) -> RunResult<P::State> {
+        self.run_traced(problem, g, start, budget, rng, &mut NoopObserver)
+    }
+
+    /// Like [`run`](Self::run), reporting structured chain events to `obs`.
+    ///
+    /// The observer parameter is monomorphized: with [`NoopObserver`] this
+    /// compiles to exactly `run`, and tracing never touches the RNG.
+    pub fn run_traced<P: Problem, O: ChainObserver>(
+        &self,
+        problem: &P,
+        g: &mut GFunction,
+        start: P::State,
+        budget: Budget,
+        rng: &mut dyn Rng,
+        obs: &mut O,
+    ) -> RunResult<P::State> {
         g.reset();
         let k = g.temperatures();
         let mut state = start;
         let mut cost = problem.cost(&state);
         let initial_cost = cost;
-        let mut run = Run::<P>::new(budget, k, self.trajectory_every, &state, cost);
+        let mut run = Run::<P>::new(budget, k, self.trajectory_every, &state, cost, O::ENABLED);
+        if O::ENABLED {
+            obs.on_run_start(initial_cost, k);
+        }
 
         // Neighborhood and weight buffers are reused across steps; problems
         // overriding `all_moves_into` fill them with no per-step allocation.
         let mut moves: Vec<P::Move> = Vec::new();
         let mut weights: Vec<f64> = Vec::new();
         let stop = loop {
-            if run.meter.exhausted() && !run.advance_temp(true) {
+            if run.meter.exhausted() && !run.advance_temp(true, obs) {
                 break StopReason::Budget;
             }
             problem.all_moves_into(&state, &mut moves);
@@ -96,7 +116,7 @@ impl Rejectionless {
 
             if total <= 0.0 {
                 // Frozen at this temperature: advance or stop.
-                if !run.advance_temp(false) {
+                if !run.advance_temp(false, obs) {
                     break StopReason::Equilibrium;
                 }
                 continue;
@@ -121,10 +141,13 @@ impl Rejectionless {
                 run.stats.accepted_uphill += 1;
             }
             cost = new_cost;
-            run.observe(&state, cost);
+            if O::ENABLED {
+                obs.on_energy(run.total_evals, cost);
+            }
+            run.observe(&state, cost, obs);
         };
 
-        run.finish(stop, initial_cost, cost)
+        run.finish(stop, initial_cost, cost, obs)
     }
 
     /// Like [`run`](Self::run), additionally feeding a timed

@@ -1,0 +1,346 @@
+//! Zero-cost-when-off chain tracing.
+//!
+//! A strategy run can be observed through the [`ChainObserver`] trait: the
+//! chain reports temperature-stage transitions (with the [`AdvanceReason`]
+//! and the stage's wall time), every post-step energy value, best-so-far
+//! improvements and the final [`StopReason`]. The observer parameter is
+//! monomorphized, and every call site is gated on the associated constant
+//! [`ChainObserver::ENABLED`], so a run with [`NoopObserver`] compiles to
+//! exactly the untraced chain — no clock reads, no branches, no allocation
+//! (the PR 2 bench kernels are guarded by a test asserting this).
+//!
+//! Tracing never touches the RNG: a traced run visits bitwise-identical
+//! states to an untraced run under the same seed.
+//!
+//! [`TraceCollector`] is the batteries-included observer: it keeps the
+//! per-stage breakdown, a bounded energy trajectory (stride sampling with
+//! deterministic stride doubling, so memory stays `O(cap)` for arbitrarily
+//! long runs) and the best-so-far improvements.
+
+use std::time::Duration;
+
+use crate::stats::{AdvanceReason, StopReason, TempStats};
+
+/// Default sample-buffer capacity for [`TraceCollector`]: energy and best
+/// trajectories each hold at most this many points.
+pub const DEFAULT_TRACE_SAMPLES: usize = 512;
+
+/// Receives structured events from a strategy run.
+///
+/// All methods have empty default bodies, so an observer implements only the
+/// events it cares about. Implementations with `ENABLED = true` (the default)
+/// additionally receive per-stage wall times; the strategies read the clock
+/// once per temperature stage in that case, never per step.
+pub trait ChainObserver {
+    /// Whether this observer wants events at all. With `false` (see
+    /// [`NoopObserver`]) the strategies skip every observer call *and* all
+    /// clock reads at compile time.
+    const ENABLED: bool = true;
+
+    /// The run is starting: initial cost and schedule length `k`.
+    fn on_run_start(&mut self, initial_cost: f64, temperatures: usize) {
+        let _ = (initial_cost, temperatures);
+    }
+
+    /// A temperature stage closed (advance or end of run): its counter
+    /// breakdown and wall-clock duration.
+    fn on_stage(&mut self, stage: &TempStats, wall: Duration) {
+        let _ = (stage, wall);
+    }
+
+    /// The chain's current energy after a resolved step. Called once per
+    /// proposal (Figure 1/2) or sampled move (rejectionless) — keep it cheap.
+    fn on_energy(&mut self, evals: u64, cost: f64) {
+        let _ = (evals, cost);
+    }
+
+    /// The best-so-far cost improved.
+    fn on_best(&mut self, evals: u64, cost: f64) {
+        let _ = (evals, cost);
+    }
+
+    /// The run stopped.
+    fn on_stop(&mut self, reason: StopReason, evals: u64, final_cost: f64, best_cost: f64) {
+        let _ = (reason, evals, final_cost, best_cost);
+    }
+}
+
+/// The do-nothing observer: `ENABLED = false`, so traced entry points called
+/// with it compile to the plain untraced chain.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopObserver;
+
+impl ChainObserver for NoopObserver {
+    const ENABLED: bool = false;
+}
+
+/// One closed temperature stage as seen by a [`TraceCollector`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageTrace {
+    /// Counter breakdown for the stage.
+    pub stats: TempStats,
+    /// Wall-clock time spent in the stage.
+    pub wall: Duration,
+}
+
+/// Why and where a traced run stopped.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StopTrace {
+    /// Why the run stopped.
+    pub reason: StopReason,
+    /// Total evaluations charged when it stopped.
+    pub evals: u64,
+    /// Cost of the final chain state.
+    pub final_cost: f64,
+    /// Best cost observed during the run.
+    pub best_cost: f64,
+}
+
+/// Everything a [`TraceCollector`] gathered from one run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChainTrace {
+    /// Cost of the starting state.
+    pub initial_cost: f64,
+    /// Schedule length `k` of the run.
+    pub temperatures: usize,
+    /// Closed temperature stages, in order.
+    pub stages: Vec<StageTrace>,
+    /// Sampled `(evals, energy)` trajectory of the chain (bounded; see
+    /// [`TraceCollector`]).
+    pub samples: Vec<(u64, f64)>,
+    /// Best-so-far improvements as `(evals, best_cost)` (bounded).
+    pub bests: Vec<(u64, f64)>,
+    /// Stop record, present once the run finished.
+    pub stop: Option<StopTrace>,
+    /// Total number of energy events the chain emitted (before sampling).
+    pub energy_events: u64,
+}
+
+/// An observer that records a [`ChainTrace`] with bounded memory.
+///
+/// Energy samples use stride sampling with deterministic compaction: the
+/// stride starts at 1 (every event kept); whenever the buffer reaches its
+/// capacity, every other sample is dropped and the stride doubles. The result
+/// depends only on the event sequence — never on a clock or RNG — so traced
+/// runs stay reproducible.
+#[derive(Debug, Clone)]
+pub struct TraceCollector {
+    trace: ChainTrace,
+    cap: usize,
+    stride: u64,
+    next_sample_at: u64,
+}
+
+impl Default for TraceCollector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceCollector {
+    /// A collector with the [default](DEFAULT_TRACE_SAMPLES) sample capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_TRACE_SAMPLES)
+    }
+
+    /// A collector whose energy/best buffers each hold at most `cap` points
+    /// (`cap` is clamped to at least 2).
+    pub fn with_capacity(cap: usize) -> Self {
+        TraceCollector {
+            trace: ChainTrace::default(),
+            cap: cap.max(2),
+            stride: 1,
+            next_sample_at: 0,
+        }
+    }
+
+    /// The trace gathered so far.
+    pub fn trace(&self) -> &ChainTrace {
+        &self.trace
+    }
+
+    /// Consumes the collector, returning the gathered trace.
+    pub fn into_trace(self) -> ChainTrace {
+        self.trace
+    }
+
+    /// Drops every other element once `buf` is full. Keeps the first element
+    /// (and, because pushes continue afterwards, the latest always re-enters).
+    fn compact(buf: &mut Vec<(u64, f64)>) {
+        let mut i = 0;
+        buf.retain(|_| {
+            let keep = i % 2 == 0;
+            i += 1;
+            keep
+        });
+    }
+}
+
+impl ChainObserver for TraceCollector {
+    fn on_run_start(&mut self, initial_cost: f64, temperatures: usize) {
+        self.trace.initial_cost = initial_cost;
+        self.trace.temperatures = temperatures;
+    }
+
+    fn on_stage(&mut self, stage: &TempStats, wall: Duration) {
+        self.trace.stages.push(StageTrace {
+            stats: *stage,
+            wall,
+        });
+    }
+
+    fn on_energy(&mut self, evals: u64, cost: f64) {
+        self.trace.energy_events += 1;
+        if evals < self.next_sample_at {
+            return;
+        }
+        self.trace.samples.push((evals, cost));
+        self.next_sample_at = evals + self.stride;
+        if self.trace.samples.len() >= self.cap {
+            Self::compact(&mut self.trace.samples);
+            self.stride *= 2;
+        }
+    }
+
+    fn on_best(&mut self, evals: u64, cost: f64) {
+        self.trace.bests.push((evals, cost));
+        if self.trace.bests.len() >= self.cap {
+            Self::compact(&mut self.trace.bests);
+        }
+    }
+
+    fn on_stop(&mut self, reason: StopReason, evals: u64, final_cost: f64, best_cost: f64) {
+        self.trace.stop = Some(StopTrace {
+            reason,
+            evals,
+            final_cost,
+            best_cost,
+        });
+    }
+}
+
+/// Convenience: counts per event kind emitted by a run, used by tests and by
+/// the experiments crate's round-trip checks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventCounts {
+    /// Temperature stages closed.
+    pub stages: u64,
+    /// Energy samples retained.
+    pub samples: u64,
+    /// Best-so-far improvements retained.
+    pub bests: u64,
+    /// 1 when the stop event was seen.
+    pub stops: u64,
+}
+
+impl ChainTrace {
+    /// Counts of the retained events in this trace.
+    pub fn event_counts(&self) -> EventCounts {
+        EventCounts {
+            stages: self.stages.len() as u64,
+            samples: self.samples.len() as u64,
+            bests: self.bests.len() as u64,
+            stops: u64::from(self.stop.is_some()),
+        }
+    }
+
+    /// Sum of the advance/stop reasons across stages, split
+    /// `(budget, equilibrium)`.
+    pub fn stage_reasons(&self) -> (u64, u64) {
+        let mut budget = 0;
+        let mut equilibrium = 0;
+        for s in &self.stages {
+            match s.stats.ended_by {
+                AdvanceReason::Budget => budget += 1,
+                AdvanceReason::Equilibrium => equilibrium += 1,
+            }
+        }
+        (budget, equilibrium)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stage(temp: usize) -> TempStats {
+        TempStats {
+            temp,
+            evals: 10,
+            proposals: 9,
+            accepted_downhill: 3,
+            accepted_uphill: 2,
+            rejected_uphill: 4,
+            ended_by: AdvanceReason::Budget,
+        }
+    }
+
+    #[test]
+    fn noop_observer_is_disabled() {
+        const { assert!(!NoopObserver::ENABLED) };
+        const { assert!(TraceCollector::ENABLED) };
+    }
+
+    #[test]
+    fn collector_bounds_sample_memory() {
+        let mut c = TraceCollector::with_capacity(16);
+        for i in 0..100_000u64 {
+            c.on_energy(i, i as f64);
+        }
+        let t = c.trace();
+        assert!(t.samples.len() < 16, "len = {}", t.samples.len());
+        assert_eq!(t.energy_events, 100_000);
+        // Strictly increasing eval coordinates survive compaction.
+        for w in t.samples.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+        assert_eq!(t.samples[0].0, 0, "first sample is kept");
+    }
+
+    #[test]
+    fn collector_sampling_is_deterministic() {
+        let feed = |cap| {
+            let mut c = TraceCollector::with_capacity(cap);
+            for i in 0..5_000u64 {
+                c.on_energy(i, (i % 37) as f64);
+            }
+            c.into_trace().samples
+        };
+        assert_eq!(feed(32), feed(32));
+    }
+
+    #[test]
+    fn collector_bounds_best_memory() {
+        let mut c = TraceCollector::with_capacity(8);
+        for i in 0..1_000u64 {
+            c.on_best(i, -(i as f64));
+        }
+        assert!(c.trace().bests.len() < 8);
+    }
+
+    #[test]
+    fn collector_records_stages_and_stop() {
+        let mut c = TraceCollector::new();
+        c.on_run_start(86.0, 6);
+        c.on_stage(&stage(0), Duration::from_millis(3));
+        c.on_stage(&stage(1), Duration::from_millis(4));
+        c.on_stop(StopReason::Budget, 20, 70.0, 64.0);
+        let t = c.into_trace();
+        assert_eq!(t.initial_cost, 86.0);
+        assert_eq!(t.temperatures, 6);
+        assert_eq!(t.stages.len(), 2);
+        assert_eq!(t.stage_reasons(), (2, 0));
+        let stop = t.stop.unwrap();
+        assert_eq!(stop.reason, StopReason::Budget);
+        assert_eq!(stop.best_cost, 64.0);
+        assert_eq!(
+            t.event_counts(),
+            EventCounts {
+                stages: 2,
+                samples: 0,
+                bests: 0,
+                stops: 1
+            }
+        );
+    }
+}

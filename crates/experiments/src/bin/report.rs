@@ -1,0 +1,152 @@
+//! `report` — analysis over a run's telemetry WAL, chain traces, and
+//! benchmark snapshots.
+//!
+//! ```text
+//! report --wal WAL [--trace DIR] [--out PATH]
+//! report --compare OLD.json NEW.json [--threshold PCT] [--strict]
+//!
+//! MODES:
+//!   --wal WAL            render a Markdown report from a telemetry WAL
+//!                        (written by `repro --telemetry`); add --trace DIR
+//!                        to fold in the chain traces from `repro --trace`
+//!                        (time per temperature, energy sparklines)
+//!   --compare OLD NEW    diff two `bench --json` snapshots and flag
+//!                        kernels that got slower
+//!
+//! OPTIONS:
+//!   --out PATH           write the Markdown to PATH instead of stdout
+//!   --threshold PCT      slowdown (percent) that counts as a regression
+//!                        in --compare mode (default 10)
+//!   --strict             exit 3 when --compare finds a regression
+//!
+//! Exit status: 0 on success, 1 on usage or I/O errors, 3 when --strict
+//! --compare found a regression.
+//! ```
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use anneal_experiments::{checkpoint, reporting, trace};
+
+const USAGE: &str = "usage: report --wal WAL [--trace DIR] [--out PATH]\n\
+       report --compare OLD.json NEW.json [--threshold PCT] [--strict]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Args {
+    wal: Option<String>,
+    trace_dir: Option<String>,
+    out: Option<String>,
+    compare: Option<(String, String)>,
+    threshold: f64,
+    strict: bool,
+}
+
+fn parse(args: &[String]) -> Result<Args, String> {
+    let mut parsed = Args {
+        wal: None,
+        trace_dir: None,
+        out: None,
+        compare: None,
+        threshold: 10.0,
+        strict: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_of = |flag: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--wal" => parsed.wal = Some(value_of("--wal")?.clone()),
+            "--trace" => parsed.trace_dir = Some(value_of("--trace")?.clone()),
+            "--out" => parsed.out = Some(value_of("--out")?.clone()),
+            "--compare" => {
+                let old = value_of("--compare")?.clone();
+                let new = it
+                    .next()
+                    .ok_or("--compare needs two snapshot paths")?
+                    .clone();
+                parsed.compare = Some((old, new));
+            }
+            "--threshold" => {
+                let v = value_of("--threshold")?;
+                let pct: f64 = v
+                    .parse()
+                    .map_err(|_| format!("bad --threshold value `{v}`"))?;
+                if !pct.is_finite() || pct < 0.0 {
+                    return Err("--threshold must be a non-negative percentage".into());
+                }
+                parsed.threshold = pct;
+            }
+            "--strict" => parsed.strict = true,
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    match (&parsed.wal, &parsed.compare) {
+        (None, None) => Err("give either --wal WAL or --compare OLD NEW".into()),
+        (Some(_), Some(_)) => Err("--wal and --compare are mutually exclusive".into()),
+        _ => Ok(parsed),
+    }
+}
+
+fn emit(out: &Option<String>, text: &str) -> Result<(), String> {
+    match out {
+        Some(path) => {
+            std::fs::write(path, text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            eprintln!("report written to {path}");
+            Ok(())
+        }
+        None => {
+            print!("{text}");
+            Ok(())
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let parsed = parse(args)?;
+
+    if let Some((old_path, new_path)) = &parsed.compare {
+        let old = std::fs::read_to_string(old_path)
+            .map_err(|e| format!("cannot read `{old_path}`: {e}"))?;
+        let new = std::fs::read_to_string(new_path)
+            .map_err(|e| format!("cannot read `{new_path}`: {e}"))?;
+        let cmp = reporting::compare_benchmarks(&old, &new, parsed.threshold)?;
+        emit(&parsed.out, &reporting::render_compare(&cmp))?;
+        let regressed = !cmp.regressions().is_empty();
+        if regressed {
+            eprintln!(
+                "{} kernel(s) slower than the {:.0}% threshold",
+                cmp.regressions().len(),
+                parsed.threshold
+            );
+        }
+        return Ok(if regressed && parsed.strict {
+            ExitCode::from(3)
+        } else {
+            ExitCode::SUCCESS
+        });
+    }
+
+    let wal_path = parsed.wal.as_deref().expect("parse() guarantees a mode");
+    let cp = checkpoint::load(wal_path)?;
+    if cp.torn {
+        eprintln!("report: WAL {wal_path} ends in a torn record (interrupted run)");
+    }
+    let traces = match &parsed.trace_dir {
+        Some(dir) => trace::load_dir(Path::new(dir))?,
+        None => Vec::new(),
+    };
+    emit(&parsed.out, &reporting::render_report(&cp, &traces))?;
+    Ok(ExitCode::SUCCESS)
+}

@@ -28,6 +28,14 @@
 //!   --resume WAL      replay completed cells from a prior run's WAL; only
 //!                     missing or failed cells are recomputed, and the
 //!                     finished tables are bitwise-identical to a clean run
+//!   --trace DIR       write one chain-trace JSONL file per table cell into
+//!                     DIR (temperature stages, energy samples, best-so-far
+//!                     improvements, stop events); results stay
+//!                     bitwise-identical to an untraced run
+//!   --progress        live cells-done ticker on stderr (count, %, ETA,
+//!                     retries, failures)
+//!   --metrics PATH    write the process metrics snapshot (counters and
+//!                     histograms, JSON) to PATH at exit
 //!   --faults SPEC     deterministic fault injection, e.g.
 //!                     "seed=7,panic=0.05,io=0.02,delay=0.1,delay_ms=200"
 //!                     (also via the ANNEAL_FAULTS environment variable)
@@ -44,8 +52,9 @@
 use std::process::ExitCode;
 
 use anneal_experiments::{
-    ablation, checkpoint, cli, diagnostics, ext_partition, ext_tsp, tables, trajectory, tuning,
-    ChaosWriter, FaultPlan, SuiteConfig, Table, TelemetryLog,
+    ablation, checkpoint, cli, diagnostics, ext_partition, ext_tsp, full_roster, progress, tables,
+    trajectory, tuning, ChaosWriter, FaultPlan, Progress, SuiteConfig, Table, TelemetryLog,
+    TraceSink, TunedY,
 };
 
 fn main() -> ExitCode {
@@ -112,12 +121,30 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             };
             TelemetryLog::with_writer(writer)
         }
-        // Resume replay and fault accounting both need a live log even
-        // without a WAL on disk.
-        None if parsed.resume.is_some() || faults.is_some() => TelemetryLog::in_memory(),
+        // Resume replay, fault accounting, tracing and the progress ticker
+        // all need a live log even without a WAL on disk.
+        None if parsed.resume.is_some()
+            || faults.is_some()
+            || parsed.trace.is_some()
+            || parsed.progress =>
+        {
+            TelemetryLog::in_memory()
+        }
         None => TelemetryLog::disabled(),
     };
-    let log = log.with_faults(faults).with_resume(resumed);
+    let trace = match &parsed.trace {
+        Some(dir) => Some(TraceSink::new(dir, faults)?),
+        None => None,
+    };
+    let ticker = parsed.progress.then(|| {
+        let roster_len = full_roster(TunedY::default()).len();
+        Progress::new(progress::expected_cells(&parsed.experiments, roster_len))
+    });
+    let log = log
+        .with_faults(faults)
+        .with_resume(resumed)
+        .with_trace(trace)
+        .with_progress(ticker);
 
     for exp in &parsed.experiments {
         for table in dispatch(exp, &config, &log)? {
@@ -127,6 +154,13 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 println!("{table}");
             }
         }
+    }
+
+    log.finish_progress();
+    if let Some(path) = &parsed.metrics {
+        std::fs::write(path, anneal_core::metrics::global().snapshot_json())
+            .map_err(|e| format!("cannot write metrics snapshot `{path}`: {e}"))?;
+        eprintln!("metrics snapshot written to {path}");
     }
 
     if !log.is_enabled() {

@@ -167,6 +167,9 @@ pub fn record_from_json(v: &Json) -> Result<CellRecord, String> {
         per_temp.push(TempAggregate {
             temp: field_u64(t, "temp")? as usize,
             evals: field_u64(t, "evals")?,
+            // Absent in pre-PR-4 records, where proposals were not tracked
+            // per temperature.
+            proposals: t.get("proposals").map_or(Ok(0), Json::as_u64_checked)?,
             accepted_downhill: field_u64(t, "accepted_downhill")?,
             accepted_uphill: field_u64(t, "accepted_uphill")?,
             rejected_uphill: field_u64(t, "rejected_uphill")?,
@@ -561,6 +564,7 @@ mod tests {
         r.per_temp.push(TempAggregate {
             temp: 0,
             evals: 2718,
+            proposals: 8,
             accepted_downhill: 5,
             accepted_uphill: 2,
             rejected_uphill: 1,
@@ -667,5 +671,14 @@ mod tests {
         json = json.replace("\"attempts\":3,", "");
         let parsed = record_from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(parsed.attempts, 1);
+    }
+
+    #[test]
+    fn per_temp_proposals_default_for_old_logs() {
+        let mut json = sample_record(1.0).to_json();
+        // Strip the proposals field to simulate a pre-PR-4 record.
+        json = json.replace("\"proposals\":8,", "");
+        let parsed = record_from_json(&Json::parse(&json).unwrap()).unwrap();
+        assert_eq!(parsed.per_temp[0].proposals, 0);
     }
 }

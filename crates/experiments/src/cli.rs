@@ -29,8 +29,9 @@ pub const EXPERIMENTS: [&str; 11] = [
 
 /// One-line usage string for `repro` errors.
 pub const USAGE: &str = "usage: repro [--scale N] [--seed N] [--csv] [--threads N] \
-     [--telemetry PATH] [--resume WAL] [--faults SPEC] [--retries N] \
-     [--backoff-ms N] [--watchdog-ms N] <experiment>...";
+     [--telemetry PATH] [--resume WAL] [--trace DIR] [--metrics PATH] \
+     [--progress] [--faults SPEC] [--retries N] [--backoff-ms N] \
+     [--watchdog-ms N] <experiment>...";
 
 /// Parsed `repro` invocation.
 #[derive(Debug)]
@@ -43,6 +44,12 @@ pub struct Cli {
     pub telemetry: Option<String>,
     /// Replay completed cells from this prior WAL.
     pub resume: Option<String>,
+    /// Write per-cell chain-trace JSONL files into this directory.
+    pub trace: Option<String>,
+    /// Write the process metrics snapshot (JSON) to this path at exit.
+    pub metrics: Option<String>,
+    /// Show a live cells-done ticker on stderr.
+    pub progress: bool,
     /// Fault-injection plan (`--faults`; the `ANNEAL_FAULTS` environment
     /// variable is merged in by the binary, not here, so parsing stays
     /// pure).
@@ -57,6 +64,9 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
     let mut csv = false;
     let mut telemetry: Option<String> = None;
     let mut resume: Option<String> = None;
+    let mut trace: Option<String> = None;
+    let mut metrics: Option<String> = None;
+    let mut progress = false;
     let mut faults: Option<FaultPlan> = None;
     let mut retries: u32 = 1;
     let mut backoff = Duration::from_millis(100);
@@ -120,8 +130,11 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
             }
             "--telemetry" => telemetry = Some(value_of("--telemetry")?.clone()),
             "--resume" => resume = Some(value_of("--resume")?.clone()),
+            "--trace" => trace = Some(value_of("--trace")?.clone()),
+            "--metrics" => metrics = Some(value_of("--metrics")?.clone()),
             "--faults" => faults = Some(FaultPlan::parse(value_of("--faults")?)?),
             "--csv" => csv = true,
+            "--progress" => progress = true,
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}`"));
             }
@@ -148,6 +161,9 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
         csv,
         telemetry,
         resume,
+        trace,
+        metrics,
+        progress,
         faults,
         experiments,
     })
@@ -169,6 +185,7 @@ mod tests {
         assert_eq!(cli.config.retry.attempts, 1);
         assert_eq!(cli.config.watchdog, None);
         assert!(!cli.csv && cli.telemetry.is_none() && cli.resume.is_none());
+        assert!(!cli.progress && cli.trace.is_none() && cli.metrics.is_none());
         assert_eq!(cli.experiments, vec!["table4.1"]);
     }
 
@@ -176,7 +193,8 @@ mod tests {
     fn full_flag_set_parses() {
         let cli = parse(&args(
             "--scale 40 --seed 7 --csv --threads 4 --telemetry out.jsonl \
-             --resume prior.jsonl --faults panic=0.5,seed=3 --retries 3 \
+             --resume prior.jsonl --trace traces --metrics metrics.json \
+             --progress --faults panic=0.5,seed=3 --retries 3 \
              --backoff-ms 10 --watchdog-ms 5000 table4.1 table4.2b",
         ))
         .unwrap();
@@ -186,9 +204,11 @@ mod tests {
         assert_eq!(cli.config.retry.attempts, 3);
         assert_eq!(cli.config.retry.backoff, Duration::from_millis(10));
         assert_eq!(cli.config.watchdog, Some(Duration::from_millis(5000)));
-        assert!(cli.csv);
+        assert!(cli.csv && cli.progress);
         assert_eq!(cli.telemetry.as_deref(), Some("out.jsonl"));
         assert_eq!(cli.resume.as_deref(), Some("prior.jsonl"));
+        assert_eq!(cli.trace.as_deref(), Some("traces"));
+        assert_eq!(cli.metrics.as_deref(), Some("metrics.json"));
         assert_eq!(cli.faults.unwrap().panic_p, 0.5);
         assert_eq!(cli.experiments, vec!["table4.1", "table4.2b"]);
     }

@@ -44,11 +44,14 @@ pub mod ext_partition;
 pub mod ext_tsp;
 pub mod faults;
 mod instances;
+pub mod progress;
+pub mod reporting;
 mod roster;
 mod runner;
 mod table;
 pub mod tables;
 pub mod telemetry;
+pub mod trace;
 pub mod trajectory;
 pub mod tuning;
 
@@ -59,7 +62,9 @@ pub use checkpoint::{Checkpoint, WalMeta};
 pub use config::SuiteConfig;
 pub use faults::{ChaosWriter, FaultPlan};
 pub use instances::{gola_paper_set, nola_paper_set, DEFAULT_SEED, NOLA_PIN_RANGE};
+pub use progress::Progress;
 pub use roster::{full_roster, reduced_roster, MethodCtx, MethodSpec, TunedY};
 pub use runner::{ArrangementSet, CellPolicy, RetryPolicy};
 pub use table::Table;
 pub use telemetry::{CellFailure, CellKey, CellRecord, FailedCell, SuiteSummary, TelemetryLog};
+pub use trace::{CellTrace, TraceEvent, TraceMeta, TraceSink};

@@ -1,0 +1,190 @@
+//! Live progress reporting for `repro --progress`.
+//!
+//! A [`Progress`] is notified once per completed cell and redraws a single
+//! stderr status line: cells done (against the expected total when it is
+//! known), percent, elapsed time, a naive ETA, and running retry/failure
+//! counts. Stderr keeps stdout clean for the tables themselves, and the
+//! line is rewritten in place with `\r` so a long suite shows a ticker,
+//! not a scroll.
+
+use std::io::Write;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A thread-safe cell-completion ticker writing to stderr.
+#[derive(Debug)]
+pub struct Progress {
+    state: Mutex<State>,
+    total: Option<usize>,
+}
+
+#[derive(Debug)]
+struct State {
+    started: Instant,
+    done: usize,
+    retried: usize,
+    failed: usize,
+    /// Length of the last line drawn, for clean `\r` overwrites.
+    last_len: usize,
+}
+
+impl Progress {
+    /// A ticker expecting `total` cells (`None` when the suite mix makes
+    /// the count unknown — the line then shows a bare counter).
+    pub fn new(total: Option<usize>) -> Self {
+        Progress {
+            state: Mutex::new(State {
+                started: Instant::now(),
+                done: 0,
+                retried: 0,
+                failed: 0,
+                last_len: 0,
+            }),
+            total: total.filter(|&t| t > 0),
+        }
+    }
+
+    /// Notes one completed cell and redraws the status line. `ok` is
+    /// whether the cell completed cleanly; `attempts` is how many tries it
+    /// took (> 1 counts as a retry).
+    pub fn cell_done(&self, ok: bool, attempts: u32) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.done += 1;
+        if attempts > 1 {
+            state.retried += 1;
+        }
+        if !ok {
+            state.failed += 1;
+        }
+        let line = self.render(&state);
+        draw(&mut state, &line);
+    }
+
+    fn render(&self, state: &State) -> String {
+        let elapsed = state.started.elapsed().as_secs_f64();
+        let mut line = match self.total {
+            Some(total) => {
+                let pct = 100.0 * state.done as f64 / total as f64;
+                let mut l = format!("cells {}/{total} ({pct:.0}%)", state.done);
+                if state.done > 0 && state.done < total {
+                    let eta = elapsed / state.done as f64 * (total - state.done) as f64;
+                    l.push_str(&format!(", eta {}", fmt_secs(eta)));
+                }
+                l
+            }
+            None => format!("cells {}", state.done),
+        };
+        line.push_str(&format!(", elapsed {}", fmt_secs(elapsed)));
+        if state.retried > 0 {
+            line.push_str(&format!(", {} retried", state.retried));
+        }
+        if state.failed > 0 {
+            line.push_str(&format!(", {} FAILED", state.failed));
+        }
+        line
+    }
+
+    /// Ends the ticker line with a newline so the summary that follows
+    /// starts clean. Harmless to call when nothing was drawn.
+    pub fn finish(&self) {
+        let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.last_len > 0 {
+            eprintln!();
+        }
+    }
+}
+
+fn draw(state: &mut State, line: &str) {
+    let mut err = std::io::stderr().lock();
+    // Pad with spaces to erase any longer previous line.
+    let pad = state.last_len.saturating_sub(line.len());
+    let _ = write!(err, "\r{line}{}", " ".repeat(pad));
+    let _ = err.flush();
+    state.last_len = line.len();
+}
+
+fn fmt_secs(secs: f64) -> String {
+    if secs >= 60.0 {
+        format!("{}m{:02}s", (secs / 60.0) as u64, (secs % 60.0) as u64)
+    } else {
+        format!("{secs:.0}s")
+    }
+}
+
+/// The number of table cells the given experiment selection will record,
+/// when it is statically known. Experiments whose cell count depends on
+/// runtime tuning contribute `None`, which makes the whole total unknown
+/// (the ticker then shows a bare counter).
+pub fn expected_cells(experiments: &[String], roster_len: usize) -> Option<usize> {
+    let mut total = 0usize;
+    for exp in experiments {
+        total += match exp.as_str() {
+            // 20 g functions + the [COHO83a] baseline, 3 budget columns.
+            "table4.1" => 21 * 3,
+            "table4.2a" | "table4.2c" | "table4.2d" => roster_len * 3,
+            "table4.2b" => roster_len * 2,
+            // Tuning sweeps, extensions and diagnostics record no cells
+            // (or a data-dependent number of them).
+            _ => return None,
+        };
+    }
+    Some(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_counts_eta_and_flags() {
+        let p = Progress::new(Some(4));
+        {
+            let mut s = p.state.lock().unwrap();
+            s.done = 2;
+            s.retried = 1;
+            s.failed = 1;
+            let line = p.render(&s);
+            assert!(line.contains("cells 2/4 (50%)"), "{line}");
+            assert!(line.contains("eta"), "{line}");
+            assert!(line.contains("1 retried"), "{line}");
+            assert!(line.contains("1 FAILED"), "{line}");
+        }
+        p.cell_done(true, 1);
+        p.finish();
+    }
+
+    #[test]
+    fn unknown_total_is_a_bare_counter() {
+        let p = Progress::new(None);
+        let mut s = p.state.lock().unwrap();
+        s.done = 7;
+        let line = p.render(&s);
+        assert!(line.starts_with("cells 7,"), "{line}");
+        assert!(!line.contains('%'));
+    }
+
+    #[test]
+    fn zero_total_behaves_like_unknown() {
+        let p = Progress::new(Some(0));
+        assert!(p.total.is_none());
+    }
+
+    #[test]
+    fn expected_cells_counts_the_tables() {
+        let exps = |names: &[&str]| names.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(expected_cells(&exps(&["table4.1"]), 13), Some(63));
+        assert_eq!(expected_cells(&exps(&["table4.2b"]), 13), Some(26));
+        assert_eq!(
+            expected_cells(&exps(&["table4.1", "table4.2a"]), 13),
+            Some(63 + 39)
+        );
+        assert_eq!(expected_cells(&exps(&["tuning"]), 13), None);
+        assert_eq!(expected_cells(&exps(&["table4.1", "tuning"]), 13), None);
+    }
+
+    #[test]
+    fn fmt_secs_switches_to_minutes() {
+        assert_eq!(fmt_secs(5.4), "5s");
+        assert_eq!(fmt_secs(125.0), "2m05s");
+    }
+}

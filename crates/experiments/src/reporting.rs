@@ -1,0 +1,644 @@
+//! Markdown analysis reports over a run's telemetry WAL and chain traces,
+//! plus benchmark-snapshot comparison — the logic behind the `report`
+//! binary, split out so every section is unit-testable.
+//!
+//! Two modes:
+//!
+//! * [`render_report`] joins a WAL (see [`checkpoint`](crate::checkpoint))
+//!   with optional per-cell traces (see [`trace`](crate::trace)) into a
+//!   Markdown document: suite overview, acceptance-rate-vs-temperature
+//!   tables per method, time-per-temperature breakdowns, energy-trajectory
+//!   sparklines, and a section checking the paper's headline claim.
+//! * [`compare_benchmarks`] + [`render_compare`] diff two `BENCH_core.json`
+//!   snapshots (schema in BENCHMARKS.md), flagging kernels that got slower
+//!   than a threshold.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::checkpoint::{Checkpoint, Json};
+use crate::telemetry::{CellRecord, TempAggregate};
+use crate::trace::{CellTrace, TraceEvent};
+
+/// Block-drawing ramp used for sparklines.
+const SPARKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// A compact sparkline over `values` (empty input → empty string). A flat
+/// series renders at the floor; non-finite points render as spaces.
+pub fn sparkline(values: &[f64]) -> String {
+    let (lo, hi) = values
+        .iter()
+        .filter(|v| v.is_finite())
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
+    values
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() {
+                ' '
+            } else if hi <= lo {
+                SPARKS[0]
+            } else {
+                let t = (v - lo) / (hi - lo);
+                SPARKS[((t * 7.0).round() as usize).min(7)]
+            }
+        })
+        .collect()
+}
+
+/// Acceptance rate (percent) of one per-temperature aggregate: accepted
+/// moves over proposals. Falls back to the acceptance-event total as the
+/// denominator for pre-v1.1 WAL records that lack proposal counts; `None`
+/// when nothing happened at the temperature.
+pub fn acceptance_rate(agg: &TempAggregate) -> Option<f64> {
+    let accepted = agg.accepted_downhill + agg.accepted_uphill;
+    let denom = if agg.proposals > 0 {
+        agg.proposals
+    } else {
+        accepted + agg.rejected_uphill
+    };
+    (denom > 0).then(|| 100.0 * accepted as f64 / denom as f64)
+}
+
+/// Sums per-temperature aggregates element-wise (the longer schedule
+/// decides the length).
+fn merge_per_temp(into: &mut Vec<TempAggregate>, from: &[TempAggregate]) {
+    if into.len() < from.len() {
+        into.resize(from.len(), TempAggregate::default());
+        for (i, agg) in into.iter_mut().enumerate() {
+            agg.temp = i;
+        }
+    }
+    for (agg, t) in into.iter_mut().zip(from) {
+        agg.evals += t.evals;
+        agg.proposals += t.proposals;
+        agg.accepted_downhill += t.accepted_downhill;
+        agg.accepted_uphill += t.accepted_uphill;
+        agg.rejected_uphill += t.rejected_uphill;
+        agg.ended_budget += t.ended_budget;
+        agg.ended_equilibrium += t.ended_equilibrium;
+    }
+}
+
+/// Groups `items` by a key, preserving first-seen order (the WAL keeps the
+/// tables' row/column order, which the report should mirror).
+fn group_by<'a, T, K, F>(items: impl IntoIterator<Item = &'a T>, key: F) -> Vec<(K, Vec<&'a T>)>
+where
+    K: PartialEq,
+    F: Fn(&'a T) -> K,
+{
+    let mut groups: Vec<(K, Vec<&'a T>)> = Vec::new();
+    for item in items {
+        let k = key(item);
+        match groups.iter_mut().find(|(g, _)| *g == k) {
+            Some((_, v)) => v.push(item),
+            None => groups.push((k, vec![item])),
+        }
+    }
+    groups
+}
+
+/// Renders the Markdown report for a loaded WAL and any matching traces.
+pub fn render_report(cp: &Checkpoint, traces: &[CellTrace]) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("# Annealing run report\n\n");
+    overview(&mut out, cp);
+    for (table, cells) in group_by(&cp.cells, |c| c.key.table.clone()) {
+        let _ = writeln!(out, "## {table}\n");
+        acceptance_section(&mut out, &cells);
+        claims_section(&mut out, &cells);
+        let table_traces: Vec<&CellTrace> = traces
+            .iter()
+            .filter(|t| t.meta.key.table == table)
+            .collect();
+        time_section(&mut out, &table_traces);
+        energy_section(&mut out, &table_traces);
+    }
+    failures_section(&mut out, &cp.cells);
+    out
+}
+
+fn overview(out: &mut String, cp: &Checkpoint) {
+    if let Some(meta) = &cp.meta {
+        let _ = writeln!(
+            out,
+            "Suite: seed {}, scale {} (WAL v{}).",
+            meta.seed, meta.scale, meta.version
+        );
+    }
+    let evals: u64 = cp.cells.iter().map(|c| c.evals).sum();
+    let wall_s: f64 = cp.cells.iter().map(|c| c.wall_ms).sum::<f64>() / 1e3;
+    let failed = cp.cells.iter().filter(|c| !c.ok()).count();
+    let _ = writeln!(
+        out,
+        "{} cells, {evals} evaluations, {wall_s:.1} s of chain time, {failed} failed.{}\n",
+        cp.cells.len(),
+        if cp.torn {
+            " The WAL ended in a torn record (interrupted run)."
+        } else {
+            ""
+        }
+    );
+}
+
+/// Acceptance rate vs temperature, one row per method, aggregated over the
+/// table's budget columns.
+fn acceptance_section(out: &mut String, cells: &[&CellRecord]) {
+    let methods = group_by(cells.iter().copied(), |c| c.key.method.clone());
+    let k = cells.iter().map(|c| c.per_temp.len()).max().unwrap_or(0);
+    if k == 0 {
+        return;
+    }
+    out.push_str("### Acceptance rate vs temperature\n\n");
+    out.push_str(
+        "Accepted moves as a percentage of proposals, per temperature index, \
+         aggregated over the table's budget columns.\n\n",
+    );
+    out.push_str("| Method |");
+    for t in 0..k {
+        let _ = write!(out, " t{t} |");
+    }
+    out.push('\n');
+    out.push_str("|---|");
+    out.push_str(&"---:|".repeat(k));
+    out.push('\n');
+    for (method, cells) in &methods {
+        let mut merged: Vec<TempAggregate> = Vec::new();
+        for c in cells {
+            merge_per_temp(&mut merged, &c.per_temp);
+        }
+        let _ = write!(out, "| {method} |");
+        for t in 0..k {
+            match merged.get(t).and_then(acceptance_rate) {
+                Some(rate) => {
+                    let _ = write!(out, " {rate:.1}% |");
+                }
+                None => out.push_str(" — |"),
+            }
+        }
+        out.push('\n');
+    }
+    out.push('\n');
+}
+
+/// The paper's headline comparison: how the trivial `g = 1` acceptance
+/// function fares against tuned annealing, per budget column (§4.2.2 claims
+/// they are competitive at equal cost).
+fn claims_section(out: &mut String, cells: &[&CellRecord]) {
+    const BASELINES: [&str; 2] = ["Six Temperature Annealing", "Metropolis"];
+    let find = |method: &str, column: &str| -> Option<f64> {
+        cells
+            .iter()
+            .find(|c| c.key.method == method && c.key.column == column)
+            .map(|c| c.reduction)
+    };
+    let mut rows = String::new();
+    for (column, _) in group_by(cells.iter().copied(), |c| c.key.column.clone()) {
+        let Some(unit) = find("g = 1", &column) else {
+            continue;
+        };
+        for baseline in BASELINES {
+            if let Some(b) = find(baseline, &column) {
+                let verdict = if unit >= b {
+                    "g = 1 wins"
+                } else {
+                    "annealing wins"
+                };
+                let _ = writeln!(
+                    rows,
+                    "| {column} | {baseline} | {unit:.0} | {b:.0} | {verdict} |"
+                );
+            }
+        }
+    }
+    if rows.is_empty() {
+        return;
+    }
+    out.push_str("### Paper claim: g = 1 vs tuned annealing\n\n");
+    out.push_str("| Column | Baseline | g = 1 reduction | Baseline reduction | Outcome |\n");
+    out.push_str("|---|---|---:|---:|---|\n");
+    out.push_str(&rows);
+    out.push('\n');
+}
+
+/// Wall time per temperature index, aggregated over a table's traces.
+fn time_section(out: &mut String, traces: &[&CellTrace]) {
+    let mut wall_by_temp: Vec<f64> = Vec::new();
+    for trace in traces {
+        for event in &trace.events {
+            if let TraceEvent::Temp { temp, wall_ms, .. } = event {
+                if wall_by_temp.len() <= *temp {
+                    wall_by_temp.resize(temp + 1, 0.0);
+                }
+                if wall_ms.is_finite() {
+                    wall_by_temp[*temp] += wall_ms;
+                }
+            }
+        }
+    }
+    let total: f64 = wall_by_temp.iter().sum();
+    if total <= 0.0 {
+        return;
+    }
+    out.push_str("### Time per temperature\n\n");
+    out.push_str("| Temperature | Wall time (ms) | Share |\n|---|---:|---:|\n");
+    for (t, wall) in wall_by_temp.iter().enumerate() {
+        let _ = writeln!(out, "| t{t} | {wall:.1} | {:.1}% |", 100.0 * wall / total);
+    }
+    out.push('\n');
+}
+
+/// One sparkline per traced cell: instance 0's sampled energy trajectory.
+fn energy_section(out: &mut String, traces: &[&CellTrace]) {
+    let mut rows = String::new();
+    for trace in traces {
+        let costs: Vec<f64> = trace
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Sample {
+                    instance: 0, cost, ..
+                } => Some(*cost),
+                _ => None,
+            })
+            .collect();
+        if costs.len() < 2 {
+            continue;
+        }
+        let _ = writeln!(
+            rows,
+            "| {} | {} | `{}` | {:.0} → {:.0} |",
+            trace.meta.key.method,
+            trace.meta.key.column,
+            sparkline(&costs),
+            costs[0],
+            costs[costs.len() - 1]
+        );
+    }
+    if rows.is_empty() {
+        return;
+    }
+    out.push_str("### Energy trajectories (instance 0)\n\n");
+    out.push_str("| Method | Column | Energy | First → last sample |\n|---|---|---|---|\n");
+    out.push_str(&rows);
+    out.push('\n');
+}
+
+fn failures_section(out: &mut String, cells: &[CellRecord]) {
+    let failed: Vec<&CellRecord> = cells.iter().filter(|c| !c.ok()).collect();
+    if failed.is_empty() {
+        return;
+    }
+    out.push_str("## Failures\n\n");
+    for cell in failed {
+        for f in &cell.failures {
+            let _ = writeln!(
+                out,
+                "- `{}` — instance {} (seed {}, {} attempts): {}",
+                cell.key, f.instance, f.seed, cell.attempts, f.message
+            );
+        }
+    }
+    out.push('\n');
+}
+
+/// One kernel's delta between two benchmark snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelDelta {
+    /// Kernel name.
+    pub name: String,
+    /// Old median ns/iter (`None` when the kernel is new).
+    pub old_ns: Option<f64>,
+    /// New median ns/iter.
+    pub new_ns: f64,
+    /// Relative change in percent (`None` when there is no old value).
+    pub delta_pct: Option<f64>,
+}
+
+impl KernelDelta {
+    /// Whether the kernel got slower than `threshold_pct`.
+    pub fn regressed(&self, threshold_pct: f64) -> bool {
+        self.delta_pct.is_some_and(|d| d > threshold_pct)
+    }
+}
+
+/// The result of comparing two benchmark snapshots.
+#[derive(Debug)]
+pub struct BenchComparison {
+    /// Per-kernel deltas, in the new snapshot's order.
+    pub deltas: Vec<KernelDelta>,
+    /// Kernels present in the old snapshot but missing from the new one.
+    pub removed: Vec<String>,
+    /// The regression threshold used, in percent.
+    pub threshold_pct: f64,
+}
+
+impl BenchComparison {
+    /// The kernels that got slower than the threshold.
+    pub fn regressions(&self) -> Vec<&KernelDelta> {
+        self.deltas
+            .iter()
+            .filter(|d| d.regressed(self.threshold_pct))
+            .collect()
+    }
+}
+
+fn bench_kernels(text: &str, which: &str) -> Result<Vec<(String, f64)>, String> {
+    let v = Json::parse(text).map_err(|e| format!("{which} snapshot: {e}"))?;
+    let schema = v.get("schema").and_then(Json::as_str).unwrap_or_default();
+    if schema != "annealbench-bench-v1" {
+        return Err(format!("{which} snapshot has unknown schema `{schema}`"));
+    }
+    let kernels = v
+        .get("kernels")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{which} snapshot has no kernels array"))?;
+    kernels
+        .iter()
+        .map(|k| {
+            let name = k
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("{which} snapshot has a kernel without a name"))?
+                .to_string();
+            let ns = k
+                .get("ns_per_iter")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("kernel `{name}` has no ns_per_iter"))?;
+            Ok((name, ns))
+        })
+        .collect()
+}
+
+/// Compares two `BENCH_core.json` documents. `threshold_pct` is the slowdown
+/// (in percent of the old median) above which a kernel counts as regressed.
+pub fn compare_benchmarks(
+    old_text: &str,
+    new_text: &str,
+    threshold_pct: f64,
+) -> Result<BenchComparison, String> {
+    let old = bench_kernels(old_text, "old")?;
+    let new = bench_kernels(new_text, "new")?;
+    let old_by_name: HashMap<&str, f64> = old.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+    let deltas: Vec<KernelDelta> = new
+        .iter()
+        .map(|(name, new_ns)| {
+            let old_ns = old_by_name.get(name.as_str()).copied();
+            KernelDelta {
+                name: name.clone(),
+                old_ns,
+                new_ns: *new_ns,
+                delta_pct: old_ns
+                    .filter(|&o| o > 0.0)
+                    .map(|o| 100.0 * (new_ns - o) / o),
+            }
+        })
+        .collect();
+    let removed = old
+        .iter()
+        .filter(|(n, _)| !new.iter().any(|(m, _)| m == n))
+        .map(|(n, _)| n.clone())
+        .collect();
+    Ok(BenchComparison {
+        deltas,
+        removed,
+        threshold_pct,
+    })
+}
+
+/// Renders a [`BenchComparison`] as Markdown.
+pub fn render_compare(cmp: &BenchComparison) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str("# Benchmark comparison\n\n");
+    out.push_str("| Kernel | Old (ns/iter) | New (ns/iter) | Delta | Status |\n");
+    out.push_str("|---|---:|---:|---:|---|\n");
+    for d in &cmp.deltas {
+        let (old, delta, status) = match (d.old_ns, d.delta_pct) {
+            (Some(o), Some(pct)) => (
+                format!("{o:.1}"),
+                format!("{pct:+.1}%"),
+                if d.regressed(cmp.threshold_pct) {
+                    "**REGRESSED**"
+                } else if pct < -cmp.threshold_pct {
+                    "improved"
+                } else {
+                    "ok"
+                },
+            ),
+            _ => ("—".to_string(), "—".to_string(), "new"),
+        };
+        let _ = writeln!(
+            out,
+            "| {} | {old} | {:.1} | {delta} | {status} |",
+            d.name, d.new_ns
+        );
+    }
+    for name in &cmp.removed {
+        let _ = writeln!(out, "| {name} | — | — | — | removed |");
+    }
+    let regressions = cmp.regressions();
+    out.push('\n');
+    if regressions.is_empty() {
+        let _ = writeln!(
+            out,
+            "No kernel regressed by more than {:.0}%.",
+            cmp.threshold_pct
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "**{} kernel(s) regressed by more than {:.0}%.**",
+            regressions.len(),
+            cmp.threshold_pct
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::load_str;
+    use crate::telemetry::{CellFailure, CellKey};
+    use crate::trace;
+    use anneal_core::Budget;
+
+    fn cell(table: &str, method: &str, column: &str, reduction: f64) -> CellRecord {
+        let mut r = CellRecord::empty(
+            CellKey::new(table, method, column),
+            "Figure1".into(),
+            Budget::evaluations(1500),
+            1985,
+        );
+        r.instances = 2;
+        r.reduction = reduction;
+        r.evals = 3000;
+        r.wall_ms = 10.0;
+        r.per_temp.push(TempAggregate {
+            temp: 0,
+            evals: 3000,
+            proposals: 100,
+            accepted_downhill: 40,
+            accepted_uphill: 20,
+            rejected_uphill: 40,
+            ended_budget: 2,
+            ended_equilibrium: 0,
+        });
+        r
+    }
+
+    fn checkpoint(cells: Vec<CellRecord>) -> Checkpoint {
+        Checkpoint {
+            meta: None,
+            cells,
+            torn: false,
+        }
+    }
+
+    #[test]
+    fn sparkline_maps_range_to_ramp() {
+        let s = sparkline(&[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(s.chars().count(), 4);
+        assert!(s.starts_with('▁') && s.ends_with('█'), "{s}");
+        assert_eq!(sparkline(&[5.0, 5.0]), "▁▁", "flat series uses the floor");
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn acceptance_rate_prefers_proposals() {
+        let mut agg = TempAggregate {
+            proposals: 200,
+            accepted_downhill: 30,
+            accepted_uphill: 20,
+            rejected_uphill: 10,
+            ..TempAggregate::default()
+        };
+        assert_eq!(acceptance_rate(&agg), Some(25.0));
+        // A pre-PR-4 record: no proposals tracked.
+        agg.proposals = 0;
+        assert_eq!(acceptance_rate(&agg), Some(100.0 * 50.0 / 60.0));
+        assert_eq!(acceptance_rate(&TempAggregate::default()), None);
+    }
+
+    #[test]
+    fn report_has_acceptance_rows_for_every_method() {
+        let cells = vec![
+            cell("table4.1", "g = 1", "6 sec", 2000.0),
+            cell("table4.1", "g = 1", "12 sec", 2100.0),
+            cell("table4.1", "Metropolis", "6 sec", 1900.0),
+        ];
+        let report = render_report(&checkpoint(cells), &[]);
+        assert!(report.contains("## table4.1"), "{report}");
+        assert!(report.contains("### Acceptance rate vs temperature"));
+        assert!(report.contains("| g = 1 | 60.0% |"), "{report}");
+        assert!(report.contains("| Metropolis | 60.0% |"), "{report}");
+    }
+
+    #[test]
+    fn report_checks_the_paper_claim() {
+        let cells = vec![
+            cell("table4.1", "g = 1", "6 sec", 2000.0),
+            cell("table4.1", "Metropolis", "6 sec", 1900.0),
+            cell("table4.1", "Six Temperature Annealing", "6 sec", 2050.0),
+        ];
+        let report = render_report(&checkpoint(cells), &[]);
+        assert!(report.contains("### Paper claim"), "{report}");
+        assert!(
+            report.contains("| 6 sec | Metropolis | 2000 | 1900 | g = 1 wins |"),
+            "{report}"
+        );
+        assert!(
+            report.contains("| 6 sec | Six Temperature Annealing | 2000 | 2050 | annealing wins |"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn report_lists_failures() {
+        let mut bad = cell("table4.1", "g = 1", "6 sec", 0.0);
+        bad.failures.push(CellFailure {
+            instance: 1,
+            seed: 7,
+            message: "boom".into(),
+        });
+        let report = render_report(&checkpoint(vec![bad]), &[]);
+        assert!(report.contains("## Failures"));
+        assert!(report.contains("instance 1 (seed 7"), "{report}");
+    }
+
+    #[test]
+    fn report_renders_trace_sections() {
+        let text = "{\"trace\":\"anneal-chain-trace\",\"version\":1,\"table\":\"table4.1\",\
+                    \"method\":\"g = 1\",\"column\":\"6 sec\",\"strategy\":\"Figure1\",\
+                    \"budget\":\"1500 evals\",\"base_seed\":1985}\n\
+                    {\"event\":\"temp\",\"instance\":0,\"temp\":0,\"evals\":10,\"proposals\":10,\
+                    \"accepted_downhill\":1,\"accepted_uphill\":1,\"rejected_uphill\":8,\
+                    \"ended_by\":\"budget\",\"wall_ms\":3.5}\n\
+                    {\"event\":\"sample\",\"instance\":0,\"evals\":1,\"cost\":100}\n\
+                    {\"event\":\"sample\",\"instance\":0,\"evals\":5,\"cost\":60}\n";
+        let traces = vec![trace::parse_str(text).unwrap()];
+        let cells = vec![cell("table4.1", "g = 1", "6 sec", 2000.0)];
+        let report = render_report(&checkpoint(cells), &traces);
+        assert!(report.contains("### Time per temperature"), "{report}");
+        assert!(report.contains("| t0 | 3.5 | 100.0% |"), "{report}");
+        assert!(report.contains("### Energy trajectories"), "{report}");
+        assert!(report.contains("100 → 60"), "{report}");
+    }
+
+    #[test]
+    fn report_reads_a_real_wal_line() {
+        let line = cell("table4.1", "g = 1", "6 sec", 1.5).to_json();
+        let cp = load_str(&format!("{line}\n")).unwrap();
+        let report = render_report(&cp, &[]);
+        assert!(report.contains("1 cells"), "{report}");
+    }
+
+    fn bench_json(kernels: &[(&str, f64)]) -> String {
+        let body: Vec<String> = kernels
+            .iter()
+            .map(|(n, ns)| format!("{{\"name\":\"{n}\",\"ns_per_iter\":{ns}}}"))
+            .collect();
+        format!(
+            "{{\"schema\":\"annealbench-bench-v1\",\"kernels\":[{}]}}",
+            body.join(",")
+        )
+    }
+
+    #[test]
+    fn compare_flags_regressions_over_threshold() {
+        let old = bench_json(&[("a", 100.0), ("b", 100.0), ("gone", 5.0)]);
+        let new = bench_json(&[("a", 105.0), ("b", 150.0), ("fresh", 9.0)]);
+        let cmp = compare_benchmarks(&old, &new, 10.0).unwrap();
+        assert_eq!(cmp.regressions().len(), 1);
+        assert_eq!(cmp.regressions()[0].name, "b");
+        assert_eq!(cmp.removed, vec!["gone".to_string()]);
+        let md = render_compare(&cmp);
+        assert!(
+            md.contains("| b | 100.0 | 150.0 | +50.0% | **REGRESSED** |"),
+            "{md}"
+        );
+        assert!(md.contains("| a | 100.0 | 105.0 | +5.0% | ok |"), "{md}");
+        assert!(md.contains("| fresh | — | 9.0 | — | new |"), "{md}");
+        assert!(md.contains("| gone | — | — | — | removed |"), "{md}");
+        assert!(md.contains("1 kernel(s) regressed"), "{md}");
+    }
+
+    #[test]
+    fn compare_is_clean_when_nothing_regressed() {
+        let old = bench_json(&[("a", 100.0)]);
+        let new = bench_json(&[("a", 80.0)]);
+        let cmp = compare_benchmarks(&old, &new, 10.0).unwrap();
+        assert!(cmp.regressions().is_empty());
+        let md = render_compare(&cmp);
+        assert!(md.contains("No kernel regressed"), "{md}");
+        assert!(md.contains("improved"), "{md}");
+    }
+
+    #[test]
+    fn compare_rejects_foreign_documents() {
+        assert!(compare_benchmarks("{}", "{}", 10.0).is_err());
+        let good = bench_json(&[("a", 1.0)]);
+        assert!(compare_benchmarks(&good, "not json", 10.0).is_err());
+    }
+}

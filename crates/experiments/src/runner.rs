@@ -22,8 +22,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 use anneal_core::{
-    derive_seed, watchdog, Budget, Figure1, Figure2, Rejectionless, RunResult, RunTelemetry,
-    Strategy, DEFAULT_EQUILIBRIUM,
+    derive_seed, metrics, watchdog, Budget, ChainObserver, Figure1, Figure2, NoopObserver,
+    Rejectionless, RunResult, RunTelemetry, Strategy, TraceCollector, DEFAULT_EQUILIBRIUM,
 };
 use anneal_linarr::{goto_arrangement, ArrangedState, LinearArrangementProblem};
 use rand::{rngs::StdRng, SeedableRng};
@@ -31,6 +31,7 @@ use rand::{rngs::StdRng, SeedableRng};
 use crate::faults::InstanceFault;
 use crate::roster::{MethodCtx, MethodSpec};
 use crate::telemetry::{CellFailure, CellKey, CellRecord, TelemetryLog};
+use crate::trace::CellTraceWriter;
 
 /// Seed-stream salt separating start generation from chain randomness.
 const RUN_SALT: u64 = 0x52554E;
@@ -283,10 +284,24 @@ impl ArrangementSet {
         assert!(policy.threads > 0, "need at least one thread");
         let strategy_name = format!("{strategy:?}");
         if let Some(cached) = log.replay(&key, &strategy_name, &budget.to_string(), self.seed) {
+            metrics::global().counter("runner.cells_replayed").inc();
             let total = cached.reduction;
             log.record_replayed(cached);
             return total;
         }
+        metrics::global().counter("runner.cells").inc();
+
+        // Replayed cells leave no trace file: nothing ran. A sink that
+        // cannot open the cell's file degrades to an untraced cell rather
+        // than failing the run.
+        let tracer = log.trace_sink().and_then(|sink| {
+            sink.cell_writer(&key, &strategy_name, &budget.to_string(), self.seed)
+                .map_err(|e| {
+                    metrics::global().counter("trace.open_errors").inc();
+                    eprintln!("trace: {e}");
+                })
+                .ok()
+        });
 
         let n = self.problems.len();
         let mut outcomes: Vec<Option<InstanceOutcome>> = (0..n).map(|_| None).collect();
@@ -299,8 +314,19 @@ impl ArrangementSet {
                     std::thread::sleep(backoff);
                 }
             }
+            if attempts > 0 {
+                metrics::global().counter("runner.retries").inc();
+            }
             for outcome in self.run_instances(
-                &pending, spec, strategy, budget, policy, attempts, &key, log,
+                &pending,
+                spec,
+                strategy,
+                budget,
+                policy,
+                attempts,
+                &key,
+                log,
+                tracer.as_ref(),
             ) {
                 let slot = outcome.index;
                 outcomes[slot] = Some(outcome);
@@ -362,6 +388,7 @@ impl ArrangementSet {
         attempt: u32,
         key: &CellKey,
         log: &TelemetryLog,
+        tracer: Option<&CellTraceWriter>,
     ) -> Vec<InstanceOutcome> {
         let n = indices.len();
         let run_one = |idx: usize| {
@@ -369,7 +396,16 @@ impl ArrangementSet {
                 .faults()
                 .map(|plan| plan.instance_fault(key, idx, attempt))
                 .unwrap_or_default();
-            self.run_instance_caught(idx, spec, strategy, budget, fault, policy.watchdog)
+            self.run_instance_caught(
+                idx,
+                spec,
+                strategy,
+                budget,
+                fault,
+                policy.watchdog,
+                tracer,
+                attempt,
+            )
         };
         if policy.threads == 1 || n <= 1 {
             indices.iter().map(|&idx| run_one(idx)).collect()
@@ -405,6 +441,7 @@ impl ArrangementSet {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_instance_caught(
         &self,
         idx: usize,
@@ -413,6 +450,8 @@ impl ArrangementSet {
         budget: Budget,
         fault: InstanceFault,
         watchdog_timeout: Option<Duration>,
+        tracer: Option<&CellTraceWriter>,
+        attempt: u32,
     ) -> InstanceOutcome {
         let seed = derive_seed(self.seed ^ RUN_SALT, idx as u64);
         let started = Instant::now();
@@ -427,11 +466,27 @@ impl ArrangementSet {
             if fault.panic {
                 panic!("fault injection: forced panic (instance {idx})");
             }
-            self.run_instance(idx, spec, strategy, budget)
+            // The traced and untraced paths are separate monomorphizations;
+            // with no tracer the chain runs the exact PR 2 hot path.
+            match tracer {
+                Some(_) => {
+                    let mut collector = TraceCollector::new();
+                    let result = self.run_instance(idx, spec, strategy, budget, &mut collector);
+                    (result, Some(collector.into_trace()))
+                }
+                None => (
+                    self.run_instance(idx, spec, strategy, budget, &mut NoopObserver),
+                    None,
+                ),
+            }
         }));
         let elapsed = started.elapsed();
         let timed_out = guard.is_some() && watchdog::expired();
         drop(guard);
+        let reg = metrics::global();
+        reg.counter("runner.instances").inc();
+        reg.histogram("runner.instance_wall_ms")
+            .record(elapsed.as_millis() as u64);
         InstanceOutcome {
             index: idx,
             seed,
@@ -444,7 +499,15 @@ impl ArrangementSet {
                         * 1e3,
                     elapsed.as_secs_f64() * 1e3
                 )),
-                Ok(result) => {
+                Ok((result, trace)) => {
+                    // Only clean runs leave trace events; tracing errors are
+                    // counted, never fatal.
+                    if let (Some(w), Some(trace)) = (tracer, trace) {
+                        if let Err(e) = w.write_instance(idx, seed, attempt + 1, &trace) {
+                            reg.counter("trace.write_errors").inc();
+                            eprintln!("trace: {e}");
+                        }
+                    }
                     let telemetry = RunTelemetry::capture(&result, elapsed);
                     Ok((result.reduction(), telemetry))
                 }
@@ -453,12 +516,13 @@ impl ArrangementSet {
         }
     }
 
-    fn run_instance(
+    fn run_instance<O: ChainObserver>(
         &self,
         idx: usize,
         spec: &MethodSpec,
         strategy: Strategy,
         budget: Budget,
+        obs: &mut O,
     ) -> RunResult<ArrangedState> {
         let problem = &self.problems[idx];
         let start = &self.starts[idx];
@@ -468,23 +532,30 @@ impl ArrangementSet {
         let mut g = spec.g(&ctx);
         let mut rng = StdRng::seed_from_u64(derive_seed(self.seed ^ RUN_SALT, idx as u64));
         match strategy {
-            Strategy::Figure1 => Figure1::with_equilibrium(self.equilibrium).run(
+            Strategy::Figure1 => Figure1::with_equilibrium(self.equilibrium).run_traced(
                 problem,
                 &mut g,
                 start.clone(),
                 budget,
                 &mut rng,
+                obs,
             ),
-            Strategy::Figure2 => Figure2::with_equilibrium(self.equilibrium).run(
+            Strategy::Figure2 => Figure2::with_equilibrium(self.equilibrium).run_traced(
                 problem,
                 &mut g,
                 start.clone(),
                 budget,
                 &mut rng,
+                obs,
             ),
-            Strategy::Rejectionless => {
-                Rejectionless::default().run(problem, &mut g, start.clone(), budget, &mut rng)
-            }
+            Strategy::Rejectionless => Rejectionless::default().run_traced(
+                problem,
+                &mut g,
+                start.clone(),
+                budget,
+                &mut rng,
+                obs,
+            ),
         }
     }
 }
@@ -870,6 +941,54 @@ mod tests {
         );
         assert!(log.records().remove(0).ok());
         assert_eq!(total, set.run_method(spec, Strategy::Figure1, budget));
+    }
+
+    #[test]
+    fn traced_cell_matches_untraced_and_leaves_a_parseable_trace() {
+        use crate::trace::{self, TraceSink};
+        let set = tiny_set();
+        let roster = full_roster(TunedY::default());
+        let spec = &roster[3]; // g = 1
+        let budget = Budget::evaluations(1_000);
+        let plain = set.run_method(spec, Strategy::Figure1, budget);
+
+        let dir = std::env::temp_dir().join(format!(
+            "anneal-runner-trace-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let sink = TraceSink::new(&dir, None).unwrap();
+        let key = CellKey::new("test", "g = 1", "1000 evals");
+        let path = sink.cell_path(&key);
+        let log = TelemetryLog::in_memory().with_trace(Some(sink));
+        let traced = set.run_cell(
+            key,
+            spec,
+            Strategy::Figure1,
+            budget,
+            &CellPolicy::sequential(),
+            &log,
+        );
+        // Tracing never touches the RNG: the cell value is bitwise identical.
+        assert_eq!(plain.to_bits(), traced.to_bits());
+
+        let loaded = trace::load(&path).unwrap();
+        assert_eq!(loaded.meta.strategy, "Figure1");
+        assert_eq!(loaded.meta.base_seed, 3);
+        let (run_starts, temps, samples, _bests, stops) = loaded.counts();
+        assert_eq!(run_starts, 4, "one run_start per instance");
+        assert_eq!(stops, 4, "one stop per instance");
+        assert!(temps > 0 && samples > 0);
+        // The traced temp events aggregate to the WAL record's per_temp.
+        let record = log.records().remove(0);
+        let agg_stages: u64 = record
+            .per_temp
+            .iter()
+            .map(|t| t.ended_budget + t.ended_equilibrium)
+            .sum();
+        assert_eq!(temps as u64, agg_stages);
+        assert!(record.per_temp.iter().all(|t| t.proposals > 0));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

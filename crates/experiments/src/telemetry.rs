@@ -21,6 +21,8 @@ use std::sync::{Mutex, MutexGuard, PoisonError};
 use anneal_core::{AdvanceReason, Budget, RunTelemetry};
 
 use crate::faults::FaultPlan;
+use crate::progress::Progress;
+use crate::trace::TraceSink;
 
 /// Identity of one table cell.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -84,6 +86,8 @@ pub struct TempAggregate {
     pub temp: usize,
     /// Evaluations across instances at this temperature.
     pub evals: u64,
+    /// Proposals made at this temperature (the acceptance-rate denominator).
+    pub proposals: u64,
     /// Downhill acceptances.
     pub accepted_downhill: u64,
     /// Uphill acceptances.
@@ -173,6 +177,7 @@ impl CellRecord {
             }
             let agg = &mut self.per_temp[stage.temp];
             agg.evals += stage.evals;
+            agg.proposals += stage.proposals;
             agg.accepted_downhill += stage.accepted_downhill;
             agg.accepted_uphill += stage.accepted_uphill;
             agg.rejected_uphill += stage.rejected_uphill;
@@ -260,10 +265,12 @@ impl CellRecord {
                 s.push(',');
             }
             s.push_str(&format!(
-                "{{\"temp\":{},\"evals\":{},\"accepted_downhill\":{},\"accepted_uphill\":{},\
-                 \"rejected_uphill\":{},\"ended_budget\":{},\"ended_equilibrium\":{}}}",
+                "{{\"temp\":{},\"evals\":{},\"proposals\":{},\"accepted_downhill\":{},\
+                 \"accepted_uphill\":{},\"rejected_uphill\":{},\"ended_budget\":{},\
+                 \"ended_equilibrium\":{}}}",
                 t.temp,
                 t.evals,
+                t.proposals,
                 t.accepted_downhill,
                 t.accepted_uphill,
                 t.rejected_uphill,
@@ -361,6 +368,8 @@ pub struct TelemetryLog {
     inner: Mutex<Inner>,
     faults: Option<FaultPlan>,
     resume: HashMap<CellKey, CellRecord>,
+    trace: Option<TraceSink>,
+    progress: Option<Progress>,
 }
 
 struct Inner {
@@ -392,6 +401,8 @@ impl TelemetryLog {
             }),
             faults: None,
             resume: HashMap::new(),
+            trace: None,
+            progress: None,
         }
     }
 
@@ -428,6 +439,33 @@ impl TelemetryLog {
             self.resume.insert(cell.key.clone(), cell);
         }
         self
+    }
+
+    /// Attaches a per-cell chain-trace sink (builder style); the runner
+    /// writes one trace file per cell through it. `None` clears it.
+    pub fn with_trace(mut self, sink: Option<TraceSink>) -> Self {
+        self.trace = sink;
+        self
+    }
+
+    /// Attaches a live progress ticker (builder style), notified once per
+    /// recorded cell. `None` clears it.
+    pub fn with_progress(mut self, progress: Option<Progress>) -> Self {
+        self.progress = progress;
+        self
+    }
+
+    /// The chain-trace sink, if tracing is on.
+    pub(crate) fn trace_sink(&self) -> Option<&TraceSink> {
+        self.trace.as_ref()
+    }
+
+    /// Ends the progress ticker line, if one is active. Call before
+    /// printing the end-of-suite summary.
+    pub fn finish_progress(&self) {
+        if let Some(p) = &self.progress {
+            p.finish();
+        }
     }
 
     /// The active fault plan, if any.
@@ -474,6 +512,9 @@ impl TelemetryLog {
     pub fn record(&self, record: CellRecord) {
         if !self.enabled {
             return;
+        }
+        if let Some(p) = &self.progress {
+            p.cell_done(record.ok(), record.attempts);
         }
         let mut inner = self.lock();
         if let Some(w) = inner.writer.as_mut() {
