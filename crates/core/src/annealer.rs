@@ -7,7 +7,7 @@ use crate::accept::GFunction;
 use crate::budget::Budget;
 use crate::problem::Problem;
 use crate::stats::RunResult;
-use crate::strategy::{Figure1, Figure2, Rejectionless, DEFAULT_EQUILIBRIUM};
+use crate::strategy::{Figure1, Figure2, Rejectionless, ReplicaExchange, DEFAULT_EQUILIBRIUM};
 use crate::telemetry::RunTelemetry;
 use crate::trace::{ChainObserver, NoopObserver};
 
@@ -22,6 +22,13 @@ pub enum Strategy {
     /// \[GREE84\]: weigh every neighbor, sample one — no rejections. Requires
     /// [`Problem::all_moves`].
     Rejectionless,
+    /// Parallel tempering: one chain per temperature rung of the g function's
+    /// schedule, swapping configurations between adjacent rungs every
+    /// `exchange_interval` within-chain proposals.
+    ReplicaExchange {
+        /// Within-chain proposals per rung between swap phases.
+        exchange_interval: u64,
+    },
 }
 
 /// A configured optimization run — the crate's high-level API.
@@ -172,6 +179,11 @@ impl<'a, P: Problem> Annealer<'a, P> {
             }
             .run_traced(self.problem, g, start, self.budget, &mut rng, obs),
             Strategy::Rejectionless => Rejectionless {
+                trajectory_every: self.trajectory_every,
+            }
+            .run_traced(self.problem, g, start, self.budget, &mut rng, obs),
+            Strategy::ReplicaExchange { exchange_interval } => ReplicaExchange {
+                exchange_interval,
                 trajectory_every: self.trajectory_every,
             }
             .run_traced(self.problem, g, start, self.budget, &mut rng, obs),

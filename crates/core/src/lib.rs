@@ -79,7 +79,10 @@ pub use range::{estimate_delta_stats, white84_schedule, DeltaStats};
 pub use schedule::Schedule;
 pub use seeds::derive_seed;
 pub use stats::{AdvanceReason, RunResult, RunStats, StopReason, TempStats};
-pub use strategy::{Figure1, Figure2, Rejectionless, DEFAULT_EQUILIBRIUM};
+pub use strategy::{
+    Figure1, Figure2, Rejectionless, ReplicaExchange, DEFAULT_EQUILIBRIUM,
+    DEFAULT_EXCHANGE_INTERVAL,
+};
 pub use telemetry::{RunTelemetry, TelemetrySink};
 pub use trace::{
     ChainObserver, ChainTrace, NoopObserver, StageTrace, StopTrace, TraceCollector,

@@ -304,6 +304,71 @@ mod tests {
     }
 
     #[test]
+    fn bucket_round_trip_at_every_power_of_two_boundary() {
+        // 2^k − 1, 2^k, 2^k + 1 for every octave, plus u64::MAX: each value
+        // must land in a bucket whose [lo, next_lo) range contains it, and
+        // indices must stay monotone across the boundary.
+        let mut boundary_values = vec![u64::MAX];
+        for k in 0..64u32 {
+            let p = 1u64 << k;
+            boundary_values.extend([p.saturating_sub(1), p, p.saturating_add(1)]);
+        }
+        boundary_values.sort_unstable();
+        let mut last_index = 0usize;
+        for &v in &boundary_values {
+            let i = bucket_index(v);
+            assert!(i < BUCKETS, "index {i} out of table at {v}");
+            assert!(i >= last_index, "index not monotone at {v}");
+            last_index = i;
+            let lo = bucket_lo(i);
+            assert!(lo <= v, "lo {lo} > value {v}");
+            if i + 1 < BUCKETS {
+                assert!(bucket_lo(i + 1) > v, "value {v} outside bucket {i}");
+            }
+            assert_eq!(bucket_index(lo), i, "lo {lo} re-indexes to {i}");
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Values concentrated around power-of-two group boundaries, where
+        /// the log-linear indexing is easiest to get wrong, plus a uniform
+        /// tail over the whole `u64` range.
+        fn arb_boundary_value() -> impl Strategy<Value = u64> {
+            (any::<u64>(), 0u32..64, 0u32..3).prop_map(|(raw, k, offset)| match offset {
+                0 => (1u64 << k).saturating_sub(1),
+                1 => 1u64 << k,
+                2 => (1u64 << k).saturating_add(raw % 3),
+                _ => raw,
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn bucket_round_trip_holds(v in arb_boundary_value(), raw in any::<u64>()) {
+                for v in [v, raw, u64::MAX] {
+                    let i = bucket_index(v);
+                    prop_assert!(i < BUCKETS);
+                    let lo = bucket_lo(i);
+                    prop_assert!(lo <= v, "lo {} > value {}", lo, v);
+                    if i + 1 < BUCKETS {
+                        prop_assert!(bucket_lo(i + 1) > v, "value {} outside bucket {}", v, i);
+                    }
+                    prop_assert_eq!(bucket_index(lo), i);
+                }
+            }
+
+            #[test]
+            fn bucket_index_is_monotone(a in arb_boundary_value(), b in any::<u64>()) {
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                prop_assert!(bucket_index(lo) <= bucket_index(hi));
+            }
+        }
+    }
+
+    #[test]
     fn bucket_relative_error_is_bounded() {
         for v in [100u64, 12_345, 1 << 30, 1 << 50] {
             let lo = bucket_lo(bucket_index(v));

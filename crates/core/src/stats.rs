@@ -51,6 +51,9 @@ pub enum AdvanceReason {
     Budget,
     /// The equilibrium counter reached `n`.
     Equilibrium,
+    /// A replica-exchange swap phase closed the segment (parallel
+    /// tempering; the chain stays on its rung, only configurations move).
+    Exchange,
 }
 
 impl AdvanceReason {
@@ -59,6 +62,7 @@ impl AdvanceReason {
         match self {
             AdvanceReason::Budget => "budget",
             AdvanceReason::Equilibrium => "equilibrium",
+            AdvanceReason::Exchange => "exchange",
         }
     }
 }
@@ -78,6 +82,7 @@ impl FromStr for AdvanceReason {
         match s {
             "budget" => Ok(AdvanceReason::Budget),
             "equilibrium" => Ok(AdvanceReason::Equilibrium),
+            "exchange" => Ok(AdvanceReason::Exchange),
             other => Err(format!("unknown advance reason `{other}`")),
         }
     }
@@ -102,6 +107,12 @@ pub struct TempStats {
     pub accepted_uphill: u64,
     /// Uphill rejections during this stage.
     pub rejected_uphill: u64,
+    /// Replica-exchange swaps attempted with this rung as the lower pair
+    /// member (0 outside the replica-exchange strategy).
+    pub swap_attempts: u64,
+    /// Replica-exchange swaps accepted (subset of
+    /// [`swap_attempts`](TempStats::swap_attempts)).
+    pub swap_accepts: u64,
     /// Why the stage ended.
     pub ended_by: AdvanceReason,
 }
@@ -193,7 +204,11 @@ mod tests {
             assert_eq!(r.to_string(), r.as_str());
             assert_eq!(r.as_str().parse::<StopReason>().unwrap(), r);
         }
-        for r in [AdvanceReason::Budget, AdvanceReason::Equilibrium] {
+        for r in [
+            AdvanceReason::Budget,
+            AdvanceReason::Equilibrium,
+            AdvanceReason::Exchange,
+        ] {
             assert_eq!(r.to_string(), r.as_str());
             assert_eq!(r.as_str().parse::<AdvanceReason>().unwrap(), r);
         }

@@ -8,18 +8,22 @@
 //! * [`Rejectionless`] — the Greene/Supowit \[GREE84\] variant discussed in
 //!   §2: weigh every neighbor and sample one, so no step is wasted on a
 //!   rejection (at the cost of evaluating the whole neighborhood).
+//! * [`ReplicaExchange`] — parallel tempering: one chain per temperature
+//!   rung, coupled by periodic configuration swaps between adjacent rungs.
 //!
-//! Both strategies charge every cost evaluation against a shared
+//! All strategies charge every cost evaluation against a shared
 //! [`Budget`] split evenly over the temperature schedule, so
 //! methods can be compared at equal computational cost (§3).
 
 mod fig1;
 mod fig2;
 mod rejectionless;
+mod replica_exchange;
 
 pub use fig1::Figure1;
 pub use fig2::Figure2;
 pub use rejectionless::Rejectionless;
+pub use replica_exchange::{ReplicaExchange, DEFAULT_EXCHANGE_INTERVAL};
 
 use std::time::Instant;
 
@@ -154,6 +158,8 @@ impl<P: Problem> Run<P> {
             accepted_downhill: self.stats.accepted_downhill - mark.accepted_downhill,
             accepted_uphill: self.stats.accepted_uphill - mark.accepted_uphill,
             rejected_uphill: self.stats.rejected_uphill - mark.rejected_uphill,
+            swap_attempts: 0,
+            swap_accepts: 0,
             ended_by,
         };
         if O::ENABLED {

@@ -245,17 +245,19 @@ impl ChainTrace {
     }
 
     /// Sum of the advance/stop reasons across stages, split
-    /// `(budget, equilibrium)`.
-    pub fn stage_reasons(&self) -> (u64, u64) {
+    /// `(budget, equilibrium, exchange)`.
+    pub fn stage_reasons(&self) -> (u64, u64, u64) {
         let mut budget = 0;
         let mut equilibrium = 0;
+        let mut exchange = 0;
         for s in &self.stages {
             match s.stats.ended_by {
                 AdvanceReason::Budget => budget += 1,
                 AdvanceReason::Equilibrium => equilibrium += 1,
+                AdvanceReason::Exchange => exchange += 1,
             }
         }
-        (budget, equilibrium)
+        (budget, equilibrium, exchange)
     }
 }
 
@@ -271,6 +273,8 @@ mod tests {
             accepted_downhill: 3,
             accepted_uphill: 2,
             rejected_uphill: 4,
+            swap_attempts: 0,
+            swap_accepts: 0,
             ended_by: AdvanceReason::Budget,
         }
     }
@@ -329,7 +333,7 @@ mod tests {
         assert_eq!(t.initial_cost, 86.0);
         assert_eq!(t.temperatures, 6);
         assert_eq!(t.stages.len(), 2);
-        assert_eq!(t.stage_reasons(), (2, 0));
+        assert_eq!(t.stage_reasons(), (2, 0, 0));
         let stop = t.stop.unwrap();
         assert_eq!(stop.reason, StopReason::Budget);
         assert_eq!(stop.best_cost, 64.0);

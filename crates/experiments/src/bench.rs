@@ -225,6 +225,26 @@ pub fn kernels() -> Vec<Kernel> {
         GFunction::metropolis(1.5),
     ));
 
+    // Replica exchange over the six-rung ladder: the default exchange
+    // spacing, and a swap-heavy variant that stresses the swap phase (an
+    // 8x higher swap rate isolates exchange overhead from chain work).
+    list.push(chain_kernel(
+        "replex/six_temp_gola",
+        gola(1),
+        Strategy::ReplicaExchange {
+            exchange_interval: 64,
+        },
+        GFunction::six_temp_annealing(2.0),
+    ));
+    list.push(chain_kernel(
+        "replex/six_temp_gola_swap_heavy",
+        gola(1),
+        Strategy::ReplicaExchange {
+            exchange_interval: 8,
+        },
+        GFunction::six_temp_annealing(2.0),
+    ));
+
     list
 }
 
@@ -350,6 +370,24 @@ mod tests {
                 "{}: chain must charge at least its budget ({})",
                 k.name,
                 k.evals_per_iter
+            );
+        }
+    }
+
+    #[test]
+    fn replica_exchange_kernels_are_present_and_budget_exact() {
+        let replex: Vec<Kernel> = kernels()
+            .into_iter()
+            .filter(|k| k.name.starts_with("replex/"))
+            .collect();
+        assert_eq!(replex.len(), 2);
+        for k in &replex {
+            // Replica exchange stops exactly at the budget (the swap phase
+            // charges nothing), so the probe reports the budget itself.
+            assert_eq!(
+                k.evals_per_iter, CHAIN_EVALS as f64,
+                "{}: tempering charges exactly its budget",
+                k.name
             );
         }
     }

@@ -22,6 +22,17 @@
 //!   --seed N          base seed (default 1985)
 //!   --csv             emit CSV instead of aligned text
 //!   --threads N       OS threads per table cell (default 1; totals identical)
+//!   --strategy NAME   run the Figure-1 tables under another control strategy:
+//!                     figure1 (default), figure2, rejectionless, or
+//!                     replica-exchange (parallel tempering: one chain per
+//!                     temperature rung, adjacent rungs swapping
+//!                     configurations); table4.2b always compares Figure 1
+//!                     vs Figure 2 regardless
+//!   --replicas K      replica-exchange only: rebuild each method's ladder to
+//!                     K geometric rungs (one chain per rung; K >= 2)
+//!   --exchange-interval N
+//!                     replica-exchange only: within-chain proposals per rung
+//!                     between swap phases (default 64)
 //!   --telemetry PATH  stream the telemetry WAL (one JSON-lines record per
 //!                     table cell) to PATH, isolate cell panics as failed
 //!                     cells, and print an end-of-suite summary to stderr

@@ -31,7 +31,12 @@ use crate::telemetry::{CellFailure, CellKey, CellRecord, InstanceRecord, TempAgg
 pub const WAL_SCHEMA: &str = "anneal-repro-wal";
 
 /// Current WAL format version. Loaders accept this version or older.
-pub const WAL_VERSION: u64 = 1;
+///
+/// Version history:
+/// * 1 — initial WAL format (PR 2), `per_temp.proposals` added in PR 4.
+/// * 2 — replica exchange: `per_temp` entries carry `ended_exchange`,
+///   `swap_attempts` and `swap_accepts` (all default to 0 when loading v1).
+pub const WAL_VERSION: u64 = 2;
 
 /// Suite parameters recorded in the WAL header, used by `--resume` to warn
 /// when a log is replayed under different settings (per-cell validation in
@@ -175,6 +180,12 @@ pub fn record_from_json(v: &Json) -> Result<CellRecord, String> {
             rejected_uphill: field_u64(t, "rejected_uphill")?,
             ended_budget: field_u64(t, "ended_budget")?,
             ended_equilibrium: field_u64(t, "ended_equilibrium")?,
+            // Absent before WAL v2 (no replica-exchange strategy yet).
+            ended_exchange: t
+                .get("ended_exchange")
+                .map_or(Ok(0), Json::as_u64_checked)?,
+            swap_attempts: t.get("swap_attempts").map_or(Ok(0), Json::as_u64_checked)?,
+            swap_accepts: t.get("swap_accepts").map_or(Ok(0), Json::as_u64_checked)?,
         });
     }
     let mut per_instance = Vec::new();
@@ -494,13 +505,46 @@ impl Parser<'_> {
         }
     }
 
+    /// Consumes a run of ASCII digits, returning how many there were.
+    fn digit_run(&mut self) -> usize {
+        let start = self.pos;
+        while let Some(b'0'..=b'9') = self.peek() {
+            self.pos += 1;
+        }
+        self.pos - start
+    }
+
+    /// Scans one number by the JSON grammar — `-? digits (. digits)?
+    /// ([eE] [+-]? digits)?` — stopping at the first byte that cannot
+    /// continue it. Malformed tokens like `1e+`, `--5` or a bare `-` fail
+    /// here with a positioned message instead of being consumed whole and
+    /// surfacing as an opaque `from_str` failure; a token like `1-2` stops
+    /// after `1` and the `-` is rejected by the caller as trailing input.
     fn number(&mut self) -> Result<Json, String> {
         let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
-        while let Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') = self.peek() {
+        if self.digit_run() == 0 {
+            return Err(format!("expected digit in number at byte {}", self.pos));
+        }
+        if self.peek() == Some(b'.') {
             self.pos += 1;
+            if self.digit_run() == 0 {
+                return Err(format!(
+                    "expected digit after `.` in number at byte {}",
+                    self.pos
+                ));
+            }
+        }
+        if let Some(b'e' | b'E') = self.peek() {
+            self.pos += 1;
+            if let Some(b'+' | b'-') = self.peek() {
+                self.pos += 1;
+            }
+            if self.digit_run() == 0 {
+                return Err(format!("expected digit in exponent at byte {}", self.pos));
+            }
         }
         let lexeme = std::str::from_utf8(&self.bytes[start..self.pos])
             .expect("ASCII number lexeme")
@@ -570,6 +614,9 @@ mod tests {
             rejected_uphill: 1,
             ended_budget: 2,
             ended_equilibrium: 0,
+            ended_exchange: 1,
+            swap_attempts: 4,
+            swap_accepts: 2,
         });
         r.per_instance.push(InstanceRecord {
             index: 0,
@@ -680,5 +727,59 @@ mod tests {
         json = json.replace("\"proposals\":8,", "");
         let parsed = record_from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(parsed.per_temp[0].proposals, 0);
+    }
+
+    #[test]
+    fn swap_fields_default_for_v1_logs() {
+        let mut json = sample_record(1.0).to_json();
+        // Strip the v2 fields to simulate a v1 (pre-replica-exchange) record.
+        json = json.replace(
+            ",\"ended_exchange\":1,\"swap_attempts\":4,\"swap_accepts\":2",
+            "",
+        );
+        let parsed = record_from_json(&Json::parse(&json).unwrap()).unwrap();
+        assert_eq!(parsed.per_temp[0].ended_exchange, 0);
+        assert_eq!(parsed.per_temp[0].swap_attempts, 0);
+        assert_eq!(parsed.per_temp[0].swap_accepts, 0);
+    }
+
+    #[test]
+    fn v1_wal_headers_still_load() {
+        let line = format!("{{\"wal\":\"{WAL_SCHEMA}\",\"version\":1,\"seed\":9,\"scale\":4}}");
+        let cp = load_str(&format!("{line}\n{}\n", sample_record(1.0).to_json())).unwrap();
+        assert_eq!(
+            cp.meta,
+            Some(WalMeta {
+                version: 1,
+                seed: 9,
+                scale: 4
+            })
+        );
+        assert_eq!(cp.cells.len(), 1);
+    }
+
+    #[test]
+    fn number_scanner_rejects_malformed_tokens_with_position() {
+        // Tokens the old scanner consumed whole and failed on opaquely.
+        for (text, expect) in [
+            ("{\"a\":1e+}", "exponent"),
+            ("{\"a\":-}", "digit in number"),
+            ("{\"a\":1e}", "exponent"),
+            ("{\"a\":--5}", "digit in number"),
+            ("{\"a\":1.}", "digit after `.`"),
+        ] {
+            let err = Json::parse(text).unwrap_err();
+            assert!(err.contains(expect), "`{text}` → `{err}`");
+            assert!(err.contains("byte"), "`{text}` error is positioned: {err}");
+        }
+        // Grammar stops after a complete number; what follows is rejected
+        // by the caller with its own position.
+        let err = Json::parse("{\"a\":1.2.3}").unwrap_err();
+        assert!(err.contains("byte 8"), "{err}");
+        let err = Json::parse("{\"a\":1-2}").unwrap_err();
+        assert!(err.contains("byte 6"), "{err}");
+        // Healthy lexemes still parse, including negative exponents.
+        let v = Json::parse("{\"a\":-2.5e-3}").unwrap();
+        assert_eq!(v.get("a").unwrap().as_f64(), Some(-0.0025));
     }
 }

@@ -7,6 +7,8 @@
 
 use std::time::Duration;
 
+use anneal_core::{Strategy, DEFAULT_EXCHANGE_INTERVAL};
+
 use crate::config::SuiteConfig;
 use crate::faults::FaultPlan;
 use crate::runner::RetryPolicy;
@@ -29,9 +31,13 @@ pub const EXPERIMENTS: [&str; 11] = [
 
 /// One-line usage string for `repro` errors.
 pub const USAGE: &str = "usage: repro [--scale N] [--seed N] [--csv] [--threads N] \
+     [--strategy NAME] [--replicas K] [--exchange-interval N] \
      [--telemetry PATH] [--resume WAL] [--trace DIR] [--metrics PATH] \
      [--progress] [--faults SPEC] [--retries N] [--backoff-ms N] \
      [--watchdog-ms N] <experiment>...";
+
+/// The `--strategy` spellings `repro` accepts.
+pub const STRATEGIES: [&str; 4] = ["figure1", "figure2", "rejectionless", "replica-exchange"];
 
 /// Parsed `repro` invocation.
 #[derive(Debug)]
@@ -70,6 +76,9 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
     let mut faults: Option<FaultPlan> = None;
     let mut retries: u32 = 1;
     let mut backoff = Duration::from_millis(100);
+    let mut strategy_name: Option<String> = None;
+    let mut replicas: Option<usize> = None;
+    let mut exchange_interval: Option<u64> = None;
     let mut experiments: Vec<String> = Vec::new();
 
     let mut it = args.iter();
@@ -128,6 +137,29 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                 }
                 config = config.with_watchdog(Some(Duration::from_millis(ms)));
             }
+            "--strategy" => strategy_name = Some(value_of("--strategy")?.clone()),
+            "--replicas" => {
+                let v = value_of("--replicas")?;
+                let k: usize = v
+                    .parse()
+                    .map_err(|_| format!("bad --replicas value `{v}`"))?;
+                if k < 2 {
+                    return Err("--replicas must be at least 2 (a single rung has no \
+                         swap partner)"
+                        .into());
+                }
+                replicas = Some(k);
+            }
+            "--exchange-interval" => {
+                let v = value_of("--exchange-interval")?;
+                let n: u64 = v
+                    .parse()
+                    .map_err(|_| format!("bad --exchange-interval value `{v}`"))?;
+                if n == 0 {
+                    return Err("--exchange-interval must be positive".into());
+                }
+                exchange_interval = Some(n);
+            }
             "--telemetry" => telemetry = Some(value_of("--telemetry")?.clone()),
             "--resume" => resume = Some(value_of("--resume")?.clone()),
             "--trace" => trace = Some(value_of("--trace")?.clone()),
@@ -143,6 +175,35 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
     }
 
     config = config.with_retry(RetryPolicy::new(retries, backoff));
+
+    let strategy = match strategy_name.as_deref() {
+        None => None,
+        Some("figure1") => Some(Strategy::Figure1),
+        Some("figure2") => Some(Strategy::Figure2),
+        Some("rejectionless") => Some(Strategy::Rejectionless),
+        Some("replica-exchange") => Some(Strategy::ReplicaExchange {
+            exchange_interval: exchange_interval.unwrap_or(DEFAULT_EXCHANGE_INTERVAL),
+        }),
+        Some(other) => {
+            return Err(format!(
+                "unknown --strategy `{other}` (one of: {})",
+                STRATEGIES.join(", ")
+            ));
+        }
+    };
+    if !matches!(strategy, Some(Strategy::ReplicaExchange { .. }))
+        && (replicas.is_some() || exchange_interval.is_some())
+    {
+        return Err(
+            "--replicas and --exchange-interval require --strategy replica-exchange".into(),
+        );
+    }
+    if let Some(s) = strategy {
+        config = config.with_strategy(s);
+    }
+    if let Some(k) = replicas {
+        config = config.with_replicas(k);
+    }
 
     if experiments.is_empty() {
         return Err("no experiment given".into());
@@ -244,6 +305,60 @@ mod tests {
         assert!(parse(&args("not-an-experiment"))
             .unwrap_err()
             .contains("unknown experiment"));
+    }
+
+    #[test]
+    fn replica_exchange_strategy_flags_parse() {
+        use anneal_core::{Strategy, DEFAULT_EXCHANGE_INTERVAL};
+        let cli = parse(&args(
+            "--strategy replica-exchange --replicas 8 --exchange-interval 32 table4.1",
+        ))
+        .unwrap();
+        assert_eq!(
+            cli.config.strategy,
+            Some(Strategy::ReplicaExchange {
+                exchange_interval: 32
+            })
+        );
+        assert_eq!(cli.config.replicas, Some(8));
+
+        // Interval defaults; flag order does not matter.
+        let cli = parse(&args("--replicas 4 --strategy replica-exchange table4.1")).unwrap();
+        assert_eq!(
+            cli.config.strategy,
+            Some(Strategy::ReplicaExchange {
+                exchange_interval: DEFAULT_EXCHANGE_INTERVAL
+            })
+        );
+
+        let cli = parse(&args("--strategy figure2 table4.1")).unwrap();
+        assert_eq!(cli.config.strategy, Some(Strategy::Figure2));
+        assert_eq!(cli.config.table_strategy(), Strategy::Figure2);
+
+        let cli = parse(&args("table4.1")).unwrap();
+        assert_eq!(cli.config.strategy, None);
+        assert_eq!(cli.config.table_strategy(), Strategy::Figure1);
+    }
+
+    #[test]
+    fn replica_exchange_flag_misuse_is_rejected() {
+        assert!(parse(&args("--strategy tempering table4.1"))
+            .unwrap_err()
+            .contains("unknown --strategy"));
+        assert!(
+            parse(&args("--replicas 1 --strategy replica-exchange table4.1"))
+                .unwrap_err()
+                .contains("at least 2")
+        );
+        assert!(parse(&args(
+            "--exchange-interval 0 --strategy replica-exchange table4.1"
+        ))
+        .unwrap_err()
+        .contains("positive"));
+        let err = parse(&args("--replicas 4 table4.1")).unwrap_err();
+        assert!(err.contains("require --strategy replica-exchange"), "{err}");
+        let err = parse(&args("--strategy figure1 --exchange-interval 8 table4.1")).unwrap_err();
+        assert!(err.contains("require --strategy replica-exchange"), "{err}");
     }
 
     #[test]

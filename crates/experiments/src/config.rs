@@ -2,6 +2,8 @@
 
 use std::time::Duration;
 
+use anneal_core::Strategy;
+
 use crate::budgetmap::Scale;
 use crate::instances::DEFAULT_SEED;
 use crate::roster::TunedY;
@@ -24,6 +26,13 @@ pub struct SuiteConfig {
     pub retry: RetryPolicy,
     /// Per-instance wall-clock deadline (`--watchdog-ms`).
     pub watchdog: Option<Duration>,
+    /// Strategy override for the Figure-1 tables (`--strategy`). `None`
+    /// keeps each experiment's paper-faithful strategy; table 4.2(b)'s
+    /// Figure-1-vs-Figure-2 comparison always ignores the override.
+    pub strategy: Option<Strategy>,
+    /// Rung-count override for replica exchange (`--replicas`): rebuild
+    /// each method's ladder to this many geometric rungs before tempering.
+    pub replicas: Option<usize>,
 }
 
 impl SuiteConfig {
@@ -36,6 +45,8 @@ impl SuiteConfig {
             threads: 1,
             retry: RetryPolicy::none(),
             watchdog: None,
+            strategy: None,
+            replicas: None,
         }
     }
 
@@ -72,6 +83,25 @@ impl SuiteConfig {
     pub fn with_watchdog(mut self, timeout: Option<Duration>) -> Self {
         self.watchdog = timeout;
         self
+    }
+
+    /// Same configuration running the tables under `strategy` instead of
+    /// their paper-faithful default.
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = Some(strategy);
+        self
+    }
+
+    /// Same configuration with a replica-exchange rung-count override.
+    pub fn with_replicas(mut self, replicas: usize) -> Self {
+        self.replicas = Some(replicas);
+        self
+    }
+
+    /// The strategy the single-strategy tables run: the `--strategy`
+    /// override, or the paper's Figure 1.
+    pub fn table_strategy(&self) -> Strategy {
+        self.strategy.unwrap_or(Strategy::Figure1)
     }
 
     /// The per-cell execution policy this configuration implies.

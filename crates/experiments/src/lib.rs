@@ -48,6 +48,7 @@ pub mod progress;
 pub mod reporting;
 mod roster;
 mod runner;
+pub mod scheduler;
 mod table;
 pub mod tables;
 pub mod telemetry;
@@ -63,7 +64,9 @@ pub use config::SuiteConfig;
 pub use faults::{ChaosWriter, FaultPlan};
 pub use instances::{gola_paper_set, nola_paper_set, DEFAULT_SEED, NOLA_PIN_RANGE};
 pub use progress::Progress;
-pub use roster::{full_roster, reduced_roster, MethodCtx, MethodSpec, TunedY};
+pub use roster::{
+    full_roster, reduced_roster, replica_exchange_roster, MethodCtx, MethodSpec, TunedY,
+};
 pub use runner::{ArrangementSet, CellPolicy, RetryPolicy};
 pub use table::Table;
 pub use telemetry::{CellFailure, CellKey, CellRecord, FailedCell, SuiteSummary, TelemetryLog};

@@ -78,6 +78,19 @@ fn merge_per_temp(into: &mut Vec<TempAggregate>, from: &[TempAggregate]) {
         agg.rejected_uphill += t.rejected_uphill;
         agg.ended_budget += t.ended_budget;
         agg.ended_equilibrium += t.ended_equilibrium;
+        agg.ended_exchange += t.ended_exchange;
+        agg.swap_attempts += t.swap_attempts;
+        agg.swap_accepts += t.swap_accepts;
+    }
+}
+
+/// `v` to `precision` decimals, or `n/a` for the NaN/∞ that nulls in old
+/// WAL schemas load as — a report must never print `NaN`.
+fn fin(v: f64, precision: usize) -> String {
+    if v.is_finite() {
+        format!("{v:.precision$}")
+    } else {
+        "n/a".to_string()
     }
 }
 
@@ -107,6 +120,7 @@ pub fn render_report(cp: &Checkpoint, traces: &[CellTrace]) -> String {
     for (table, cells) in group_by(&cp.cells, |c| c.key.table.clone()) {
         let _ = writeln!(out, "## {table}\n");
         acceptance_section(&mut out, &cells);
+        swap_section(&mut out, &cells);
         claims_section(&mut out, &cells);
         let table_traces: Vec<&CellTrace> = traces
             .iter()
@@ -132,8 +146,9 @@ fn overview(out: &mut String, cp: &Checkpoint) {
     let failed = cp.cells.iter().filter(|c| !c.ok()).count();
     let _ = writeln!(
         out,
-        "{} cells, {evals} evaluations, {wall_s:.1} s of chain time, {failed} failed.{}\n",
+        "{} cells, {evals} evaluations, {} s of chain time, {failed} failed.{}\n",
         cp.cells.len(),
+        fin(wall_s, 1),
         if cp.torn {
             " The WAL ended in a torn record (interrupted run)."
         } else {
@@ -182,6 +197,57 @@ fn acceptance_section(out: &mut String, cells: &[&CellRecord]) {
     out.push('\n');
 }
 
+/// Replica-exchange swap acceptance vs temperature: swaps accepted over
+/// swaps attempted at each rung (the lower member of each adjacent pair),
+/// aggregated over a method's budget columns. Omitted when no cell in the
+/// table attempted a swap — non-tempering strategies and pre-v2 WALs.
+fn swap_section(out: &mut String, cells: &[&CellRecord]) {
+    if !cells
+        .iter()
+        .any(|c| c.per_temp.iter().any(|t| t.swap_attempts > 0))
+    {
+        return;
+    }
+    let methods = group_by(cells.iter().copied(), |c| c.key.method.clone());
+    let k = cells.iter().map(|c| c.per_temp.len()).max().unwrap_or(0);
+    out.push_str("### Replica-exchange swap acceptance vs temperature\n\n");
+    out.push_str(
+        "Accepted swaps as a percentage of attempts at each rung (attempts \
+         are counted on the colder member of the pair, so the hottest rung \
+         shows no attempts).\n\n",
+    );
+    out.push_str("| Method |");
+    for t in 0..k {
+        let _ = write!(out, " t{t} |");
+    }
+    out.push('\n');
+    out.push_str("|---|");
+    out.push_str(&"---:|".repeat(k));
+    out.push('\n');
+    for (method, cells) in &methods {
+        let mut merged: Vec<TempAggregate> = Vec::new();
+        for c in cells {
+            merge_per_temp(&mut merged, &c.per_temp);
+        }
+        let _ = write!(out, "| {method} |");
+        for t in 0..k {
+            match merged.get(t) {
+                Some(agg) if agg.swap_attempts > 0 => {
+                    let rate = 100.0 * agg.swap_accepts as f64 / agg.swap_attempts as f64;
+                    let _ = write!(
+                        out,
+                        " {rate:.1}% ({}/{}) |",
+                        agg.swap_accepts, agg.swap_attempts
+                    );
+                }
+                _ => out.push_str(" — |"),
+            }
+        }
+        out.push('\n');
+    }
+    out.push('\n');
+}
+
 /// The paper's headline comparison: how the trivial `g = 1` acceptance
 /// function fares against tuned annealing, per budget column (§4.2.2 claims
 /// they are competitive at equal cost).
@@ -200,14 +266,20 @@ fn claims_section(out: &mut String, cells: &[&CellRecord]) {
         };
         for baseline in BASELINES {
             if let Some(b) = find(baseline, &column) {
-                let verdict = if unit >= b {
+                // A null reduction (old-WAL field) loads as NaN: neither
+                // side can win, and the numbers render as `n/a`.
+                let verdict = if !unit.is_finite() || !b.is_finite() {
+                    "n/a"
+                } else if unit >= b {
                     "g = 1 wins"
                 } else {
                     "annealing wins"
                 };
                 let _ = writeln!(
                     rows,
-                    "| {column} | {baseline} | {unit:.0} | {b:.0} | {verdict} |"
+                    "| {column} | {baseline} | {} | {} | {verdict} |",
+                    fin(unit, 0),
+                    fin(b, 0)
                 );
             }
         }
@@ -268,12 +340,12 @@ fn energy_section(out: &mut String, traces: &[&CellTrace]) {
         }
         let _ = writeln!(
             rows,
-            "| {} | {} | `{}` | {:.0} → {:.0} |",
+            "| {} | {} | `{}` | {} → {} |",
             trace.meta.key.method,
             trace.meta.key.column,
             sparkline(&costs),
-            costs[0],
-            costs[costs.len() - 1]
+            fin(costs[0], 0),
+            fin(costs[costs.len() - 1], 0)
         );
     }
     if rows.is_empty() {
@@ -484,6 +556,9 @@ mod tests {
             rejected_uphill: 40,
             ended_budget: 2,
             ended_equilibrium: 0,
+            ended_exchange: 0,
+            swap_attempts: 0,
+            swap_accepts: 0,
         });
         r
     }
@@ -592,6 +667,57 @@ mod tests {
         let cp = load_str(&format!("{line}\n")).unwrap();
         let report = render_report(&cp, &[]);
         assert!(report.contains("1 cells"), "{report}");
+    }
+
+    #[test]
+    fn report_renders_swap_section_for_replica_exchange_cells() {
+        let mut rec = cell("table4.1", "Metropolis", "6 sec", 1500.0);
+        rec.per_temp[0].swap_attempts = 10;
+        rec.per_temp[0].swap_accepts = 4;
+        rec.per_temp.push(TempAggregate {
+            temp: 1,
+            evals: 100,
+            proposals: 100,
+            ..TempAggregate::default()
+        });
+        let report = render_report(&checkpoint(vec![rec]), &[]);
+        assert!(
+            report.contains("### Replica-exchange swap acceptance vs temperature"),
+            "{report}"
+        );
+        assert!(
+            report.contains("| Metropolis | 40.0% (4/10) | — |"),
+            "{report}"
+        );
+        // Cells without swaps keep the section out entirely.
+        let plain = render_report(&checkpoint(vec![cell("t", "g = 1", "6 sec", 1.0)]), &[]);
+        assert!(!plain.contains("swap acceptance"), "{plain}");
+    }
+
+    #[test]
+    fn old_schema_wal_renders_without_nan() {
+        // A pre-PR-4 WAL record: no wall_ms/reduction (both null) and no
+        // swap counters on its per_temp entries. The report must say `n/a`,
+        // never `NaN`.
+        let line = cell("table4.1", "g = 1", "6 sec", 2000.0)
+            .to_json()
+            .replace("\"reduction\":2000", "\"reduction\":null")
+            .replace("\"wall_ms\":10", "\"wall_ms\":null")
+            .replace(
+                ",\"ended_exchange\":0,\"swap_attempts\":0,\"swap_accepts\":0",
+                "",
+            );
+        let baseline = cell("table4.1", "Metropolis", "6 sec", 1900.0).to_json();
+        let cp = load_str(&format!("{line}\n{baseline}\n")).unwrap();
+        assert!(cp.cells[0].reduction.is_nan(), "null loads as NaN");
+        assert_eq!(cp.cells[0].per_temp[0].swap_attempts, 0);
+        let report = render_report(&cp, &[]);
+        assert!(!report.contains("NaN"), "{report}");
+        assert!(report.contains("n/a s of chain time"), "{report}");
+        assert!(
+            report.contains("| 6 sec | Metropolis | n/a | 1900 | n/a |"),
+            "{report}"
+        );
     }
 
     fn bench_json(kernels: &[(&str, f64)]) -> String {

@@ -23,7 +23,8 @@ use std::time::{Duration, Instant};
 
 use anneal_core::{
     derive_seed, metrics, watchdog, Budget, ChainObserver, Figure1, Figure2, NoopObserver,
-    Rejectionless, RunResult, RunTelemetry, Strategy, TraceCollector, DEFAULT_EQUILIBRIUM,
+    Rejectionless, ReplicaExchange, RunResult, RunTelemetry, Strategy, TraceCollector,
+    DEFAULT_EQUILIBRIUM,
 };
 use anneal_linarr::{goto_arrangement, ArrangedState, LinearArrangementProblem};
 use rand::{rngs::StdRng, SeedableRng};
@@ -141,6 +142,11 @@ pub struct ArrangementSet {
     seed: u64,
     /// Equilibrium counter limit `n` for both strategies.
     pub equilibrium: u64,
+    /// Rung-count override for [`Strategy::ReplicaExchange`]: rebuild each
+    /// method's temperature ladder to this many geometric rungs
+    /// (Kirkpatrick ratio from the method's top temperature) before
+    /// tempering. `None` keeps the method's own ladder.
+    pub replicas: Option<usize>,
 }
 
 impl ArrangementSet {
@@ -161,6 +167,7 @@ impl ArrangementSet {
             starts,
             seed,
             equilibrium: DEFAULT_EQUILIBRIUM,
+            replicas: None,
         }
     }
 
@@ -175,6 +182,7 @@ impl ArrangementSet {
             starts,
             seed,
             equilibrium: DEFAULT_EQUILIBRIUM,
+            replicas: None,
         }
     }
 
@@ -407,38 +415,10 @@ impl ArrangementSet {
                 attempt,
             )
         };
-        if policy.threads == 1 || n <= 1 {
-            indices.iter().map(|&idx| run_one(idx)).collect()
-        } else {
-            let next = std::sync::atomic::AtomicUsize::new(0);
-            // Per-instance results are written into fixed slots and combined
-            // in index order afterwards, so the floating-point total is
-            // identical to the sequential version regardless of thread
-            // interleaving.
-            let slots: std::sync::Mutex<Vec<Option<InstanceOutcome>>> =
-                std::sync::Mutex::new((0..n).map(|_| None).collect());
-            std::thread::scope(|scope| {
-                for _ in 0..policy.threads.min(n) {
-                    let next = &next;
-                    let slots = &slots;
-                    let run_one = &run_one;
-                    scope.spawn(move || loop {
-                        let slot = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if slot >= n {
-                            break;
-                        }
-                        let outcome = run_one(indices[slot]);
-                        slots.lock().expect("no poisoned workers")[slot] = Some(outcome);
-                    });
-                }
-            });
-            slots
-                .into_inner()
-                .expect("no poisoned workers")
-                .into_iter()
-                .map(|o| o.expect("every slot filled"))
-                .collect()
-        }
+        // Per-instance results come back in slot (index) order, so the
+        // floating-point total is identical to the sequential version
+        // regardless of thread interleaving — see [`scheduler::run_indexed`].
+        crate::scheduler::run_indexed(n, policy.threads, |slot| run_one(indices[slot]))
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -556,6 +536,27 @@ impl ArrangementSet {
                 &mut rng,
                 obs,
             ),
+            Strategy::ReplicaExchange { exchange_interval } => {
+                if let Some(k) = self.replicas {
+                    // `--replicas K`: one chain per rung of a K-rung
+                    // geometric ladder grown from the method's own top
+                    // temperature (the core strategy stays ladder-agnostic).
+                    let top = g.schedule().value(0);
+                    g = g.with_schedule(anneal_core::Schedule::geometric(
+                        top,
+                        anneal_core::KIRKPATRICK_RATIO,
+                        k,
+                    ));
+                }
+                ReplicaExchange::with_interval(exchange_interval).run_traced(
+                    problem,
+                    &mut g,
+                    start.clone(),
+                    budget,
+                    &mut rng,
+                    obs,
+                )
+            }
         }
     }
 }
@@ -617,6 +618,48 @@ mod tests {
                 assert_eq!(seq, par, "{} with {threads} threads", spec.name());
             }
         }
+    }
+
+    #[test]
+    fn replica_exchange_parallel_matches_sequential_bitwise() {
+        let set = tiny_set();
+        let roster = full_roster(TunedY::default());
+        let spec = &roster[2]; // Six Temperature Annealing: a ladder to temper over
+        let budget = Budget::evaluations(1_500);
+        let strategy = Strategy::ReplicaExchange {
+            exchange_interval: 32,
+        };
+        let seq = set.run_method(spec, strategy, budget);
+        assert!(seq >= 0.0);
+        for threads in [1, 2, 8] {
+            let par = set.run_method_parallel(spec, strategy, budget, threads);
+            assert_eq!(seq.to_bits(), par.to_bits(), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn replica_exchange_cell_records_swap_counters() {
+        let set = tiny_set();
+        let roster = full_roster(TunedY::default());
+        let spec = &roster[2]; // Six Temperature Annealing
+        let log = TelemetryLog::in_memory();
+        let _ = set.run_cell(
+            CellKey::new("test", spec.name(), "2000 evals"),
+            spec,
+            Strategy::ReplicaExchange {
+                exchange_interval: 16,
+            },
+            Budget::evaluations(2_000),
+            &CellPolicy::sequential(),
+            &log,
+        );
+        let record = log.records().remove(0);
+        assert!(record.ok());
+        let attempts: u64 = record.per_temp.iter().map(|t| t.swap_attempts).sum();
+        let accepts: u64 = record.per_temp.iter().map(|t| t.swap_accepts).sum();
+        assert!(attempts > 0, "swaps were attempted");
+        assert!(accepts <= attempts);
+        assert!(record.per_temp.iter().any(|t| t.ended_exchange > 0));
     }
 
     #[test]
@@ -984,7 +1027,7 @@ mod tests {
         let agg_stages: u64 = record
             .per_temp
             .iter()
-            .map(|t| t.ended_budget + t.ended_equilibrium)
+            .map(|t| t.ended_budget + t.ended_equilibrium + t.ended_exchange)
             .sum();
         assert_eq!(temps as u64, agg_stages);
         assert!(record.per_temp.iter().all(|t| t.proposals > 0));

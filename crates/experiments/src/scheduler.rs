@@ -1,0 +1,127 @@
+//! Deterministic work-stealing fan-out for per-instance work.
+//!
+//! One shared atomic cursor hands out task indices to worker threads as
+//! they free up, so a single slow task (a straggler) never holds idle
+//! workers hostage the way static chunking does: the cell finishes in
+//! roughly `max(task)` wall time, not `sum(chunk)`. Results are written
+//! into fixed per-index slots and returned in index order, which keeps
+//! every downstream reduction (floating-point sums, WAL records) bitwise
+//! identical to a sequential run regardless of thread interleaving.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `f(0..n)` over `threads` workers, returning results in index
+/// order. `threads == 1` (or `n <= 1`) degenerates to a plain sequential
+/// loop on the calling thread — the exact historical hot path, with no
+/// thread or lock overhead.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`, and propagates a panic from `f` (the worker
+/// thread unwinds into the scope join).
+pub fn run_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    assert!(threads > 0, "need at least one thread");
+    if threads == 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            let next = &next;
+            let slots = &slots;
+            let f = &f;
+            scope.spawn(move || loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= n {
+                    break;
+                }
+                let out = f(index);
+                slots.lock().expect("no poisoned workers")[index] = Some(out);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("no poisoned workers")
+        .into_iter()
+        .map(|o| o.expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn results_come_back_in_index_order_for_any_thread_count() {
+        for threads in [1, 2, 3, 8, 33] {
+            let out = run_indexed(17, threads, |i| i * i);
+            assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_and_single_task_sets_work() {
+        assert_eq!(run_indexed(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(run_indexed(1, 4, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let _ = run_indexed(4, 0, |i| i);
+    }
+
+    #[test]
+    fn a_single_straggler_does_not_serialize_the_set() {
+        // One 400 ms task among seven 50 ms tasks over four workers. Work
+        // stealing finishes in ~max(task) ≈ 400-450 ms: while one worker
+        // holds the straggler, the others drain the fast tasks. A static
+        // chunking that co-schedules fast tasks behind the straggler would
+        // need 500+ ms, and a serial run 750 ms. The 600 ms bound leaves
+        // slack for CI jitter while still ruling both out.
+        let slow = Duration::from_millis(400);
+        let fast = Duration::from_millis(50);
+        let started = Instant::now();
+        let out = run_indexed(8, 4, |i| {
+            std::thread::sleep(if i == 0 { slow } else { fast });
+            i
+        });
+        let elapsed = started.elapsed();
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
+        assert!(elapsed >= slow, "the straggler itself ran");
+        assert!(
+            elapsed < Duration::from_millis(600),
+            "straggler serialized the set: took {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn workers_steal_everything_under_a_blocked_worker() {
+        // Pin worker progress: the task-0 closure blocks until every other
+        // task has finished, which can only happen if the remaining workers
+        // keep pulling from the shared queue while task 0 is stuck.
+        use std::sync::atomic::AtomicUsize;
+        let done = AtomicUsize::new(0);
+        let out = run_indexed(8, 2, |i| {
+            if i == 0 {
+                let deadline = Instant::now() + Duration::from_secs(30);
+                while done.load(Ordering::SeqCst) < 7 {
+                    assert!(Instant::now() < deadline, "other worker stalled");
+                    std::thread::yield_now();
+                }
+            } else {
+                done.fetch_add(1, Ordering::SeqCst);
+            }
+            i * 2
+        });
+        assert_eq!(out, (0..8).map(|i| i * 2).collect::<Vec<_>>());
+    }
+}

@@ -2,8 +2,6 @@
 //! reduction over 30 instances for all 20 g classes (plus the Goto and
 //! [COHO83a] baselines) at 6, 9 and 12 seconds per instance.
 
-use anneal_core::Strategy;
-
 use crate::budgetmap::PAPER_SECONDS;
 use crate::config::SuiteConfig;
 use crate::instances::gola_paper_set;
@@ -22,7 +20,8 @@ pub fn run(config: &SuiteConfig) -> Table {
 /// cell is logged as failed while the rest of the table completes.
 pub fn run_logged(config: &SuiteConfig, log: &TelemetryLog) -> Table {
     let problems = gola_paper_set(config.seed);
-    let set = ArrangementSet::with_random_starts(problems, config.seed);
+    let mut set = ArrangementSet::with_random_starts(problems, config.seed);
+    set.replicas = config.replicas;
 
     let columns: Vec<String> = PAPER_SECONDS
         .iter()
@@ -50,7 +49,7 @@ pub fn run_logged(config: &SuiteConfig, log: &TelemetryLog) -> Table {
                 set.run_cell(
                     CellKey::new("table4.1", spec.name(), column.clone()),
                     &spec,
-                    Strategy::Figure1,
+                    config.table_strategy(),
                     config.scale.vax_seconds(s),
                     &config.cell_policy(),
                     log,

@@ -2,8 +2,6 @@
 //! density improvement over 30 instances for the 13-method roster at 6, 9
 //! and 12 seconds per instance (§4.2.3 "Coupling Monte Carlo and GOTO").
 
-use anneal_core::Strategy;
-
 use crate::budgetmap::PAPER_SECONDS;
 use crate::config::SuiteConfig;
 use crate::instances::gola_paper_set;
@@ -21,7 +19,8 @@ pub fn run(config: &SuiteConfig) -> Table {
 /// [`table4_1::run_logged`](crate::tables::table4_1::run_logged)).
 pub fn run_logged(config: &SuiteConfig, log: &TelemetryLog) -> Table {
     let problems = gola_paper_set(config.seed);
-    let set = ArrangementSet::with_goto_starts(problems, config.seed);
+    let mut set = ArrangementSet::with_goto_starts(problems, config.seed);
+    set.replicas = config.replicas;
 
     let columns: Vec<String> = PAPER_SECONDS
         .iter()
@@ -45,7 +44,7 @@ pub fn run_logged(config: &SuiteConfig, log: &TelemetryLog) -> Table {
                 set.run_cell(
                     CellKey::new("table4.2a", spec.name(), column.clone()),
                     &spec,
-                    Strategy::Figure1,
+                    config.table_strategy(),
                     config.scale.vax_seconds(s),
                     &config.cell_policy(),
                     log,

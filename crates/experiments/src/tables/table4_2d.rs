@@ -2,8 +2,6 @@
 //! improvement for the 13-method roster (§4.3.1: "none of the 13 Monte Carlo
 //! methods is able to obtain a significant improvement").
 
-use anneal_core::Strategy;
-
 use crate::budgetmap::{NOLA_EVAL_COST, PAPER_SECONDS};
 use crate::config::SuiteConfig;
 use crate::instances::nola_paper_set;
@@ -21,7 +19,8 @@ pub fn run(config: &SuiteConfig) -> Table {
 /// [`table4_1::run_logged`](crate::tables::table4_1::run_logged)).
 pub fn run_logged(config: &SuiteConfig, log: &TelemetryLog) -> Table {
     let problems = nola_paper_set(config.seed);
-    let set = ArrangementSet::with_goto_starts(problems, config.seed);
+    let mut set = ArrangementSet::with_goto_starts(problems, config.seed);
+    set.replicas = config.replicas;
 
     let columns: Vec<String> = PAPER_SECONDS
         .iter()
@@ -45,7 +44,7 @@ pub fn run_logged(config: &SuiteConfig, log: &TelemetryLog) -> Table {
                 set.run_cell(
                     CellKey::new("table4.2d", spec.name(), column.clone()),
                     &spec,
-                    Strategy::Figure1,
+                    config.table_strategy(),
                     config.scale.vax_seconds(s).scale_div(NOLA_EVAL_COST),
                     &config.cell_policy(),
                     log,

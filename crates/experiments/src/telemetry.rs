@@ -98,6 +98,15 @@ pub struct TempAggregate {
     pub ended_budget: u64,
     /// Stages that ended by the equilibrium criterion.
     pub ended_equilibrium: u64,
+    /// Stages closed by a replica-exchange swap phase (WAL schema v2;
+    /// loads as 0 from v1 logs).
+    pub ended_exchange: u64,
+    /// Replica-exchange swaps attempted with this rung as the lower pair
+    /// member (WAL schema v2; loads as 0 from v1 logs).
+    pub swap_attempts: u64,
+    /// Replica-exchange swaps accepted (WAL schema v2; loads as 0 from
+    /// v1 logs).
+    pub swap_accepts: u64,
 }
 
 /// A caught instance panic inside a cell.
@@ -181,9 +190,12 @@ impl CellRecord {
             agg.accepted_downhill += stage.accepted_downhill;
             agg.accepted_uphill += stage.accepted_uphill;
             agg.rejected_uphill += stage.rejected_uphill;
+            agg.swap_attempts += stage.swap_attempts;
+            agg.swap_accepts += stage.swap_accepts;
             match stage.ended_by {
                 AdvanceReason::Budget => agg.ended_budget += 1,
                 AdvanceReason::Equilibrium => agg.ended_equilibrium += 1,
+                AdvanceReason::Exchange => agg.ended_exchange += 1,
             }
         }
         self.accepted_downhill += ad;
@@ -267,7 +279,8 @@ impl CellRecord {
             s.push_str(&format!(
                 "{{\"temp\":{},\"evals\":{},\"proposals\":{},\"accepted_downhill\":{},\
                  \"accepted_uphill\":{},\"rejected_uphill\":{},\"ended_budget\":{},\
-                 \"ended_equilibrium\":{}}}",
+                 \"ended_equilibrium\":{},\"ended_exchange\":{},\"swap_attempts\":{},\
+                 \"swap_accepts\":{}}}",
                 t.temp,
                 t.evals,
                 t.proposals,
@@ -275,7 +288,10 @@ impl CellRecord {
                 t.accepted_uphill,
                 t.rejected_uphill,
                 t.ended_budget,
-                t.ended_equilibrium
+                t.ended_equilibrium,
+                t.ended_exchange,
+                t.swap_attempts,
+                t.swap_accepts
             ));
         }
         s.push_str("],");

@@ -16,7 +16,8 @@
 //! ```text
 //! {"event":"run_start","instance":0,"seed":..,"attempt":1,"initial_cost":..,"temperatures":..}
 //! {"event":"temp","instance":0,"temp":0,"evals":..,"proposals":..,"accepted_downhill":..,
-//!  "accepted_uphill":..,"rejected_uphill":..,"ended_by":"budget","wall_ms":..}
+//!  "accepted_uphill":..,"rejected_uphill":..,"swap_attempts":..,"swap_accepts":..,
+//!  "ended_by":"budget","wall_ms":..}
 //! {"event":"sample","instance":0,"evals":..,"cost":..}
 //! {"event":"best","instance":0,"evals":..,"cost":..}
 //! {"event":"stop","instance":0,"reason":"budget","evals":..,"final_cost":..,"best_cost":..,
@@ -37,7 +38,10 @@ use crate::telemetry::CellKey;
 pub const TRACE_SCHEMA: &str = "anneal-chain-trace";
 
 /// Current trace format version. Loaders accept this version or older.
-pub const TRACE_VERSION: u64 = 1;
+///
+/// History: v1 had no replica-exchange swap counters on `temp` events;
+/// v2 added `swap_attempts`/`swap_accepts` (absent fields load as 0).
+pub const TRACE_VERSION: u64 = 2;
 
 /// Creates per-cell trace writers under one directory; the `--trace DIR`
 /// half of the observability pipeline.
@@ -200,13 +204,16 @@ pub fn instance_lines(instance: usize, seed: u64, attempt: u32, trace: &ChainTra
         s.push_str(&format!(
             "{{\"event\":\"temp\",\"instance\":{instance},\"temp\":{},\"evals\":{},\
              \"proposals\":{},\"accepted_downhill\":{},\"accepted_uphill\":{},\
-             \"rejected_uphill\":{},\"ended_by\":\"{}\",\"wall_ms\":{}}}\n",
+             \"rejected_uphill\":{},\"swap_attempts\":{},\"swap_accepts\":{},\
+             \"ended_by\":\"{}\",\"wall_ms\":{}}}\n",
             t.temp,
             t.evals,
             t.proposals,
             t.accepted_downhill,
             t.accepted_uphill,
             t.rejected_uphill,
+            t.swap_attempts,
+            t.swap_accepts,
             t.ended_by.as_str(),
             num(stage.wall.as_secs_f64() * 1e3)
         ));
@@ -284,6 +291,11 @@ pub enum TraceEvent {
         accepted_uphill: u64,
         /// Uphill rejections.
         rejected_uphill: u64,
+        /// Replica-exchange swaps attempted at this rung (0 pre-v2 and
+        /// outside the replica-exchange strategy).
+        swap_attempts: u64,
+        /// Replica-exchange swaps accepted.
+        swap_accepts: u64,
         /// Why the stage ended.
         ended_by: AdvanceReason,
         /// Wall-clock milliseconds spent in the stage.
@@ -472,6 +484,9 @@ fn event_from_json(v: &Json) -> Result<TraceEvent, String> {
             accepted_downhill: u64_field(v, "accepted_downhill")?,
             accepted_uphill: u64_field(v, "accepted_uphill")?,
             rejected_uphill: u64_field(v, "rejected_uphill")?,
+            // Absent in v1 traces (pre replica-exchange).
+            swap_attempts: v.get("swap_attempts").map_or(Ok(0), Json::as_u64_checked)?,
+            swap_accepts: v.get("swap_accepts").map_or(Ok(0), Json::as_u64_checked)?,
             ended_by: str_field(v, "ended_by")?.parse()?,
             wall_ms: f64_field(v, "wall_ms")?,
         }),
@@ -552,6 +567,8 @@ mod tests {
                 accepted_downhill: 3,
                 accepted_uphill: 2,
                 rejected_uphill: 5,
+                swap_attempts: 0,
+                swap_accepts: 0,
                 ended_by: AdvanceReason::Budget,
             },
             wall: Duration::from_millis(4),
@@ -583,6 +600,30 @@ mod tests {
             } => {
                 assert_eq!(*proposals, 10);
                 assert_eq!(*ended_by, AdvanceReason::Budget);
+            }
+            other => panic!("expected temp event, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn v1_temp_events_load_with_zero_swap_fields() {
+        let header = format!(
+            "{{\"trace\":\"{TRACE_SCHEMA}\",\"version\":1,\"table\":\"t\",\"method\":\"m\",\
+             \"column\":\"c\",\"strategy\":\"Figure1\",\"budget\":\"b\",\"base_seed\":1}}"
+        );
+        let temp = "{\"event\":\"temp\",\"instance\":0,\"temp\":0,\"evals\":9,\
+             \"proposals\":9,\"accepted_downhill\":3,\"accepted_uphill\":2,\
+             \"rejected_uphill\":4,\"ended_by\":\"budget\",\"wall_ms\":1.5}";
+        let parsed = parse_str(&format!("{header}\n{temp}\n")).unwrap();
+        assert_eq!(parsed.meta.version, 1);
+        match &parsed.events[0] {
+            TraceEvent::Temp {
+                swap_attempts,
+                swap_accepts,
+                ..
+            } => {
+                assert_eq!(*swap_attempts, 0);
+                assert_eq!(*swap_accepts, 0);
             }
             other => panic!("expected temp event, got {other:?}"),
         }

@@ -1,0 +1,136 @@
+//! End-to-end replica-exchange determinism: the tempered tables are
+//! f64-bit identical across sequential vs work-stealing execution (threads
+//! 1/2/8) and across a mid-WAL kill + `--resume` replay, mirroring the
+//! crash-safety protocol of `tests/resume.rs`.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use anneal_core::Strategy;
+use anneal_experiments::{checkpoint, tables::table4_1, SuiteConfig, Table, TelemetryLog, WalMeta};
+
+/// A WAL sink the test can inspect after the "process" dies.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    fn contents(&self) -> String {
+        String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Small budgets, tempering over a 4-rung ladder rebuilt for every method
+/// (`--replicas 4`). Table 4.1's columns are 6/9/12 paper-seconds, i.e.
+/// 15–30 evals per instance at scale 100, so the 4-proposal exchange
+/// interval makes a full swap round (4 rungs x 4 proposals = 16 evals) fit
+/// inside the 9- and 12-second budgets.
+fn config() -> SuiteConfig {
+    SuiteConfig::scaled(100)
+        .with_seed(7)
+        .with_strategy(Strategy::ReplicaExchange {
+            exchange_interval: 4,
+        })
+        .with_replicas(4)
+}
+
+fn assert_bitwise_identical(a: &Table, b: &Table, what: &str) {
+    assert_eq!(a.rows.len(), b.rows.len(), "{what}: row count");
+    for ((label_a, row_a), (label_b, row_b)) in a.rows.iter().zip(&b.rows) {
+        assert_eq!(label_a, label_b, "{what}: row labels");
+        for (x, y) in row_a.iter().zip(row_b) {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{what}: {label_a}: {x} != {y} bitwise"
+            );
+        }
+    }
+    assert_eq!(format!("{a}"), format!("{b}"), "{what}: rendered table");
+}
+
+#[test]
+fn tempered_table_is_bitwise_identical_across_thread_counts() {
+    let config = config();
+    let sequential = table4_1::run_logged(&config, &TelemetryLog::in_memory());
+    for threads in [2, 8] {
+        let parallel =
+            table4_1::run_logged(&config.with_threads(threads), &TelemetryLog::in_memory());
+        assert_bitwise_identical(
+            &sequential,
+            &parallel,
+            &format!("replica exchange, {threads} threads"),
+        );
+    }
+}
+
+#[test]
+fn killed_tempered_run_resumes_bitwise_identical() {
+    let config = config();
+    let clean = table4_1::run_logged(&config, &TelemetryLog::in_memory());
+
+    // First "process": streams the WAL over the work-stealing runner, then
+    // dies mid-write (header + 20 records + half a record).
+    let buf = SharedBuf::default();
+    let wal = TelemetryLog::with_writer(Box::new(buf.clone()));
+    {
+        let mut w = buf.0.lock().unwrap();
+        writeln!(
+            w,
+            "{}",
+            WalMeta::new(config.seed, config.scale.divisor).header_line()
+        )
+        .unwrap();
+    }
+    table4_1::run_logged(&config.with_threads(2), &wal);
+
+    let full = buf.contents();
+    let lines: Vec<&str> = full.lines().collect();
+    assert_eq!(lines.len(), 64, "header + 63 cell records");
+
+    // The 6-sec column is too small for even one swap round, so check the
+    // swap counters over the complete WAL rather than the truncated prefix.
+    let complete = checkpoint::load_str(&full).expect("complete WAL loads");
+    let tempered_cells = complete
+        .cells
+        .iter()
+        .filter(|c| c.per_temp.iter().any(|t| t.swap_attempts > 0))
+        .count();
+    assert!(tempered_cells > 0, "swap counters made it into the WAL");
+    let mut killed = lines[..21].join("\n");
+    killed.push('\n');
+    killed.push_str(&lines[21][..lines[21].len() / 2]);
+
+    let cp = checkpoint::load_str(&killed).expect("killed WAL still loads");
+    assert!(cp.torn, "the half-written record reads as torn");
+    assert_eq!(cp.cells.len(), 20);
+    // The WAL pins the tempering parameters via the strategy string, so a
+    // resume under different flags would re-run rather than replay.
+    assert!(
+        cp.cells
+            .iter()
+            .all(|c| c.strategy == "ReplicaExchange { exchange_interval: 4 }"),
+        "strategy identity recorded: {}",
+        cp.cells[0].strategy
+    );
+
+    // Second "process": resumes from the torn WAL, again work-stealing.
+    let resumed_log = TelemetryLog::in_memory().with_resume(cp.cells);
+    let resumed = table4_1::run_logged(&config.with_threads(2), &resumed_log);
+
+    assert_bitwise_identical(&clean, &resumed, "replica exchange kill + resume");
+    let summary = resumed_log.summary();
+    assert_eq!(summary.replayed, 20, "the 20 intact cells were not re-run");
+    assert_eq!(summary.cells, 63);
+    assert!(!summary.degraded());
+}

@@ -32,6 +32,8 @@ fn pinned_trace() -> ChainTrace {
                     accepted_downhill: 3,
                     accepted_uphill: 2,
                     rejected_uphill: 5,
+                    swap_attempts: 2,
+                    swap_accepts: 1,
                     ended_by: AdvanceReason::Budget,
                 },
                 wall: Duration::from_millis(4),
@@ -44,6 +46,8 @@ fn pinned_trace() -> ChainTrace {
                     accepted_downhill: 1,
                     accepted_uphill: 0,
                     rejected_uphill: 5,
+                    swap_attempts: 0,
+                    swap_accepts: 0,
                     ended_by: AdvanceReason::Equilibrium,
                 },
                 wall: Duration::from_millis(2),
@@ -140,11 +144,16 @@ fn reason_enums_round_trip_their_display_spelling() {
     for reason in [StopReason::Budget, StopReason::Equilibrium] {
         assert_eq!(reason.to_string().parse::<StopReason>(), Ok(reason));
     }
-    for reason in [AdvanceReason::Budget, AdvanceReason::Equilibrium] {
+    for reason in [
+        AdvanceReason::Budget,
+        AdvanceReason::Equilibrium,
+        AdvanceReason::Exchange,
+    ] {
         assert_eq!(reason.to_string().parse::<AdvanceReason>(), Ok(reason));
     }
     assert_eq!(StopReason::Budget.to_string(), "budget");
     assert_eq!(AdvanceReason::Equilibrium.to_string(), "equilibrium");
+    assert_eq!(AdvanceReason::Exchange.to_string(), "exchange");
     assert!("melted".parse::<StopReason>().is_err());
     assert!("".parse::<AdvanceReason>().is_err());
 }
