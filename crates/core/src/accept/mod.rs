@@ -259,6 +259,20 @@ impl GFunction {
         self
     }
 
+    /// Overwrites one temperature in place — the adaptive controller's
+    /// feedback hook, called at stage boundaries. Rebuilds only the affected
+    /// fast-path entry; like the other schedule mutators it never draws
+    /// randomness, so attaching a controller cannot perturb RNG parity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= self.temperatures()` or `y` is not finite and
+    /// positive.
+    pub fn set_temperature(&mut self, t: usize, y: f64) {
+        self.schedule.set_value(t, y);
+        self.fast[t] = classify(self.form, y);
+    }
+
     /// Rescales every temperature by `factor` (§4.2.1 tuning).
     pub fn scaled(mut self, factor: f64) -> Self {
         self.schedule = self.schedule.scaled(factor);
@@ -648,6 +662,30 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn set_temperature_updates_fast_path() {
+        let mut g = GFunction::six_temp_annealing(10.0);
+        g.set_temperature(2, 4.0);
+        assert!((g.schedule().value(2) - 4.0).abs() < 1e-12);
+        // The fast path at index 2 must now decide at the new temperature:
+        // probability and decision statistics match a fresh GFunction built
+        // on the mutated schedule.
+        let fresh = GFunction::annealing(g.schedule().clone());
+        assert_eq!(
+            g.probability(2, 10.0, 12.0).to_bits(),
+            fresh.probability(2, 10.0, 12.0).to_bits()
+        );
+        let mut rng_a = StdRng::seed_from_u64(5);
+        let mut rng_b = StdRng::seed_from_u64(5);
+        let mut fresh = fresh;
+        for _ in 0..500 {
+            assert_eq!(
+                g.decide_figure1(2, 10.0, 12.0, &mut rng_a),
+                fresh.decide_figure1(2, 10.0, 12.0, &mut rng_b)
+            );
         }
     }
 

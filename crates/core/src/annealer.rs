@@ -6,6 +6,7 @@ use rand::{rngs::StdRng, SeedableRng};
 use crate::accept::GFunction;
 use crate::budget::Budget;
 use crate::problem::Problem;
+use crate::schedule::adaptive::AcceptanceController;
 use crate::stats::RunResult;
 use crate::strategy::{Figure1, Figure2, Rejectionless, ReplicaExchange, DEFAULT_EQUILIBRIUM};
 use crate::telemetry::RunTelemetry;
@@ -75,6 +76,7 @@ pub struct Annealer<'a, P: Problem> {
     seed: u64,
     start: Option<P::State>,
     trajectory_every: u64,
+    controller: Option<AcceptanceController>,
 }
 
 impl<'a, P: Problem> Annealer<'a, P> {
@@ -89,6 +91,7 @@ impl<'a, P: Problem> Annealer<'a, P> {
             seed: 0,
             start: None,
             trajectory_every: 0,
+            controller: None,
         }
     }
 
@@ -127,6 +130,16 @@ impl<'a, P: Problem> Annealer<'a, P> {
     /// Enables best-cost trajectory sampling every `every` evaluations.
     pub fn trajectory(&mut self, every: u64) -> &mut Self {
         self.trajectory_every = every;
+        self
+    }
+
+    /// Attaches an adaptive acceptance-ratio controller (see
+    /// [`schedule::adaptive`](crate::schedule::adaptive)). Honored by the
+    /// [`Figure1`] and [`Figure2`] strategies, which correct each stage's
+    /// temperature toward the controller's target acceptance trajectory;
+    /// ignored by the other strategies.
+    pub fn controller(&mut self, controller: Option<AcceptanceController>) -> &mut Self {
+        self.controller = controller;
         self
     }
 
@@ -171,11 +184,13 @@ impl<'a, P: Problem> Annealer<'a, P> {
             Strategy::Figure1 => Figure1 {
                 equilibrium: self.equilibrium,
                 trajectory_every: self.trajectory_every,
+                controller: self.controller,
             }
             .run_traced(self.problem, g, start, self.budget, &mut rng, obs),
             Strategy::Figure2 => Figure2 {
                 equilibrium: self.equilibrium,
                 trajectory_every: self.trajectory_every,
+                controller: self.controller,
             }
             .run_traced(self.problem, g, start, self.budget, &mut rng, obs),
             Strategy::Rejectionless => Rejectionless {

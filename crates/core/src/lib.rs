@@ -54,6 +54,68 @@
 //!     .run(&mut GFunction::unit());
 //! assert_eq!(result.best_cost, 0.0);
 //! ```
+//!
+//! # End to end: problem → schedule → strategy → statistics
+//!
+//! The full pipeline for a temperature-bearing method: measure the
+//! problem's delta statistics, derive a schedule from them (here the
+//! adaptive acceptance-ratio family of [`schedule::adaptive`] — a
+//! [`white84_schedule`] or the §4.2.1 [`tune::Tuner`] slot in the same
+//! way), run a strategy, then read the per-temperature [`TempStats`]:
+//!
+//! ```
+//! use anneal_core::schedule::adaptive;
+//! use anneal_core::{
+//!     Annealer, Budget, GFunction, Problem, Rng, RngExt, Strategy,
+//!     estimate_delta_stats,
+//! };
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // 1. The problem: minimize set bits in a word by flipping random bits.
+//! struct MinimizeBits;
+//! impl Problem for MinimizeBits {
+//!     type State = u64;
+//!     type Move = u32;
+//!     fn random_state(&self, rng: &mut dyn Rng) -> u64 {
+//!         rng.random_range(0..1 << 16)
+//!     }
+//!     fn cost(&self, s: &u64) -> f64 {
+//!         s.count_ones() as f64
+//!     }
+//!     fn propose(&self, _: &u64, rng: &mut dyn Rng) -> u32 {
+//!         rng.random_range(0..16)
+//!     }
+//!     fn apply(&self, s: &mut u64, m: &u32) {
+//!         *s ^= 1 << m;
+//!     }
+//! }
+//!
+//! // 2. The schedule: probe the move-delta distribution, then derive a
+//! //    six-temperature adaptive schedule (probe cost is reported so
+//! //    equal-budget comparisons can charge it).
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let stats = estimate_delta_stats(&MinimizeBits, 128, &mut rng);
+//! let spec = adaptive::derive(&stats, adaptive::AdaptiveMode::Acceptance, 6, 128);
+//!
+//! // 3. The strategy: classic Boltzmann acceptance on that schedule, with
+//! //    the feedback controller correcting each stage's temperature.
+//! let mut g = GFunction::annealing(spec.schedule.clone());
+//! let result = Annealer::new(&MinimizeBits)
+//!     .strategy(Strategy::Figure1)
+//!     .budget(Budget::evaluations(30_000 - spec.probe_evals))
+//!     .seed(1985)
+//!     .controller(spec.controller)
+//!     .run(&mut g);
+//!
+//! // 4. The statistics: one TempStats per stage entered, recording the
+//! //    controlled temperature and the acceptance rate it produced.
+//! assert!(!result.stats.per_temp.is_empty());
+//! for stage in &result.stats.per_temp {
+//!     assert!(stage.temperature > 0.0);
+//!     assert!(stage.acceptance_rate() <= 1.0);
+//! }
+//! assert_eq!(result.best_cost, 0.0);
+//! ```
 
 pub mod accept;
 mod annealer;
@@ -62,7 +124,7 @@ pub mod local;
 pub mod metrics;
 mod problem;
 mod range;
-mod schedule;
+pub mod schedule;
 mod seeds;
 mod stats;
 pub mod strategy;
@@ -76,6 +138,7 @@ pub use annealer::{Annealer, Strategy};
 pub use budget::{Budget, Meter};
 pub use problem::Problem;
 pub use range::{estimate_delta_stats, white84_schedule, DeltaStats};
+pub use schedule::adaptive::{AcceptanceController, AdaptiveMode, AdaptiveSchedule};
 pub use schedule::Schedule;
 pub use seeds::derive_seed;
 pub use stats::{AdvanceReason, RunResult, RunStats, StopReason, TempStats};

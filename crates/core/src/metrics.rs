@@ -3,7 +3,7 @@
 //!
 //! A [`Registry`] hands out named [`Counter`]s and [`Histogram`]s; both are
 //! lock-free to update (a handful of atomic operations), so they are safe to
-//! touch from the experiment harness's worker threads. [`Registry::global`]
+//! touch from the experiment harness's worker threads. [`global()`]
 //! is the process-wide instance the `repro` binary snapshots via
 //! `--metrics PATH`; libraries and tests can also build private registries.
 //!

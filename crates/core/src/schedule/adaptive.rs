@@ -1,0 +1,481 @@
+//! Feedback-controlled ("adaptive") temperature schedules.
+//!
+//! The paper's central practical complaint is tuning cost: every
+//! temperature-bearing g class needs the §4.2.1 two-pass grid sweep before
+//! it can compete with the parameter-free `g = 1`. This module derives the
+//! schedule *online* from measured statistics instead, in three pieces:
+//!
+//! * [`initial_temperature`] — an automatic `Y₁` estimator that replaces
+//!   the sweep's first pass: pick the temperature at which a typical
+//!   uphill move (scale `σ` from [`DeltaStats`]) is accepted with a target
+//!   hot-end probability.
+//! * [`AcceptanceController`] — a Lam/Huang-style acceptance-ratio
+//!   feedback loop: each stage's measured acceptance rate
+//!   ([`TempStats::acceptance_rate`](crate::TempStats::acceptance_rate))
+//!   is compared against a target trajectory and the next stage's
+//!   temperature is corrected multiplicatively.
+//! * [`asa_schedule`] / [`asa_from_stats`] — an ASA-style (Ingber)
+//!   exponential-in-`√i` reannealing shape seeded by the same delta
+//!   statistics [`white84_schedule`](crate::white84_schedule) uses.
+//!
+//! [`derive()`] bundles the three into an [`AdaptiveSchedule`] ready to hand
+//! to a strategy; the experiments harness charges the probe evaluations
+//! that produced the [`DeltaStats`] against the run budget so comparisons
+//! against grid-swept settings stay equal-cost *including* tuning.
+
+use crate::range::DeltaStats;
+use crate::schedule::Schedule;
+
+/// Target acceptance rate at the hot end of the trajectory.
+pub const DEFAULT_HOT_ACCEPTANCE: f64 = 0.8;
+
+/// Target acceptance rate at the cold end of the trajectory.
+pub const DEFAULT_COLD_ACCEPTANCE: f64 = 0.05;
+
+/// Default multiplicative feedback gain of the controller.
+pub const DEFAULT_GAIN: f64 = 1.0;
+
+/// Lowest temperature the controller will ever set.
+pub const TEMPERATURE_FLOOR: f64 = 1e-12;
+
+/// Highest temperature the controller will ever set.
+pub const TEMPERATURE_CEILING: f64 = 1e12;
+
+/// Delta-statistics samples the experiments harness probes per instance
+/// when deriving an adaptive schedule (charged against the run budget).
+pub const DEFAULT_PROBE_SAMPLES: u64 = 128;
+
+/// Which adaptive schedule family to derive (the `repro --schedule`
+/// spellings).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdaptiveMode {
+    /// Acceptance-ratio feedback control over a White-range initial
+    /// geometric schedule ([`AcceptanceController`]).
+    Acceptance,
+    /// ASA-style reannealing shape, no in-run feedback ([`asa_schedule`]).
+    Asa,
+}
+
+impl AdaptiveMode {
+    /// Stable lower-case name, used by the CLI and in reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AdaptiveMode::Acceptance => "adaptive",
+            AdaptiveMode::Asa => "asa",
+        }
+    }
+}
+
+impl std::fmt::Display for AdaptiveMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for AdaptiveMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "adaptive" => Ok(AdaptiveMode::Acceptance),
+            "asa" => Ok(AdaptiveMode::Asa),
+            other => Err(format!("unknown schedule mode `{other}` (adaptive, asa)")),
+        }
+    }
+}
+
+/// The acceptance-ratio feedback controller (Lam/Huang style).
+///
+/// A target acceptance trajectory interpolates geometrically from
+/// [`hot_target`](AcceptanceController::hot_target) at stage 0 down to
+/// [`cold_target`](AcceptanceController::cold_target) at the last stage.
+/// When a stage closes, the controller compares the stage's measured
+/// acceptance rate against that stage's target and corrects the *next*
+/// stage's planned temperature multiplicatively:
+///
+/// ```text
+/// Y' = Y · exp(-gain · (observed - target))
+/// ```
+///
+/// — accepting more than targeted means the chain is running hot, so the
+/// next temperature is lowered; accepting less means it is quenching too
+/// fast, so the next temperature is raised. The result is clamped to
+/// `[TEMPERATURE_FLOOR, TEMPERATURE_CEILING]`, so the controlled
+/// temperature stays positive and finite for any finite input.
+///
+/// The controller is pure arithmetic — it never draws randomness — so
+/// attaching it to a strategy changes *which* temperatures run but not the
+/// RNG stream discipline: runs remain bitwise deterministic under a fixed
+/// seed.
+///
+/// # Examples
+///
+/// ```
+/// use anneal_core::schedule::adaptive::AcceptanceController;
+///
+/// let ctrl = AcceptanceController::default();
+/// // Stage 2 of 6 wants an acceptance rate between the hot and cold ends.
+/// let target = ctrl.target(2, 6);
+/// assert!(target < ctrl.hot_target && target > ctrl.cold_target);
+/// // Observed 100% acceptance against a modest target: cool the chain.
+/// assert!(ctrl.adjust(1.0, 1.0, target) < 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AcceptanceController {
+    /// Target acceptance rate at the first stage.
+    pub hot_target: f64,
+    /// Target acceptance rate at the last stage.
+    pub cold_target: f64,
+    /// Multiplicative feedback gain (0 disables correction).
+    pub gain: f64,
+}
+
+impl Default for AcceptanceController {
+    fn default() -> Self {
+        AcceptanceController {
+            hot_target: DEFAULT_HOT_ACCEPTANCE,
+            cold_target: DEFAULT_COLD_ACCEPTANCE,
+            gain: DEFAULT_GAIN,
+        }
+    }
+}
+
+impl AcceptanceController {
+    /// A controller tracking a `hot → cold` acceptance trajectory with the
+    /// default gain.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < cold <= hot < 1`.
+    pub fn new(hot: f64, cold: f64) -> Self {
+        assert!(
+            0.0 < cold && cold <= hot && hot < 1.0,
+            "need 0 < cold <= hot < 1, got hot {hot} cold {cold}"
+        );
+        AcceptanceController {
+            hot_target: hot,
+            cold_target: cold,
+            gain: DEFAULT_GAIN,
+        }
+    }
+
+    /// Same controller with feedback gain `gain` (clamped non-negative).
+    pub fn with_gain(mut self, gain: f64) -> Self {
+        self.gain = gain.max(0.0);
+        self
+    }
+
+    /// The target acceptance rate for stage `stage` of a `k`-stage run:
+    /// geometric interpolation from the hot target down to the cold target.
+    pub fn target(&self, stage: usize, k: usize) -> f64 {
+        if k <= 1 {
+            return self.hot_target;
+        }
+        let f = (stage.min(k - 1)) as f64 / (k - 1) as f64;
+        self.hot_target * (self.cold_target / self.hot_target).powf(f)
+    }
+
+    /// The corrected temperature for the next stage: `planned` scaled by
+    /// the feedback term for the previous stage's `observed` acceptance
+    /// rate against its `target`. Always positive and finite; a
+    /// non-finite `planned` falls back to the clamp bounds.
+    pub fn adjust(&self, planned: f64, observed: f64, target: f64) -> f64 {
+        let error = observed.clamp(0.0, 1.0) - target.clamp(0.0, 1.0);
+        let corrected = planned * (-self.gain * error).exp();
+        if corrected.is_nan() {
+            // Only reachable from a NaN `planned`; fail safe to the floor.
+            return TEMPERATURE_FLOOR;
+        }
+        corrected.clamp(TEMPERATURE_FLOOR, TEMPERATURE_CEILING)
+    }
+}
+
+/// Automatic initial temperature (the sweep's first pass, replaced):
+/// the temperature at which a typical uphill move of size `σ` is accepted
+/// with probability `hot_acceptance` under Boltzmann acceptance —
+/// `Y₁ = σ / -ln(p)`. Falls back to a unit scale on a flat landscape, like
+/// [`white84_schedule`](crate::white84_schedule).
+///
+/// # Panics
+///
+/// Panics unless `0 < hot_acceptance < 1`.
+pub fn initial_temperature(stats: &DeltaStats, hot_acceptance: f64) -> f64 {
+    assert!(
+        0.0 < hot_acceptance && hot_acceptance < 1.0,
+        "hot acceptance must be in (0, 1), got {hot_acceptance}"
+    );
+    let scale = if stats.std_dev > 0.0 {
+        stats.std_dev
+    } else {
+        1.0
+    };
+    (scale / -hot_acceptance.ln()).clamp(TEMPERATURE_FLOOR, TEMPERATURE_CEILING)
+}
+
+/// The cold-end temperature scale from delta statistics: the smallest
+/// positive delta over 3 (its acceptance then `e⁻³ ≈ 5%`), falling back to
+/// `hot/100` when no positive delta was seen — the same convention as
+/// [`white84_schedule`](crate::white84_schedule).
+fn cold_scale(stats: &DeltaStats, hot: f64) -> f64 {
+    stats
+        .min_positive
+        .map(|m| m / 3.0)
+        .unwrap_or(hot / 100.0)
+        .min(hot)
+        .max(TEMPERATURE_FLOOR)
+}
+
+/// The initial schedule for acceptance-ratio control: `k` geometric
+/// temperatures from [`initial_temperature`] down to the cold scale. The
+/// controller then corrects each stage online.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `hot_acceptance` is outside `(0, 1)`.
+pub fn acceptance_schedule(stats: &DeltaStats, hot_acceptance: f64, k: usize) -> Schedule {
+    assert!(k > 0, "schedule needs at least one temperature");
+    let hot = initial_temperature(stats, hot_acceptance);
+    let cold = cold_scale(stats, hot);
+    if k == 1 {
+        return Schedule::single(hot);
+    }
+    let ratio = (cold / hot).powf(1.0 / (k as f64 - 1.0));
+    Schedule::geometric(hot, ratio, k)
+}
+
+/// An ASA-style (Ingber) reannealing schedule: `Y_i = Y₁·e^{-c·√i}` with
+/// `c` chosen so the last stage lands on `cold`. The `√i` quench is the
+/// one-parameter ASA shape — it cools faster than geometric early and
+/// slower late.
+///
+/// # Panics
+///
+/// Panics if `k == 0`, or `t0`/`cold` are not finite and positive, or
+/// `cold > t0`.
+pub fn asa_schedule(t0: f64, cold: f64, k: usize) -> Schedule {
+    assert!(k > 0, "schedule needs at least one temperature");
+    assert!(
+        t0.is_finite() && t0 > 0.0 && cold.is_finite() && cold > 0.0,
+        "temperatures must be finite and positive, got t0 {t0} cold {cold}"
+    );
+    assert!(cold <= t0, "cold end {cold} must not exceed t0 {t0}");
+    if k == 1 {
+        return Schedule::single(t0);
+    }
+    let c = (t0 / cold).ln() / ((k - 1) as f64).sqrt();
+    let values = (0..k)
+        .map(|i| (t0 * (-c * (i as f64).sqrt()).exp()).max(TEMPERATURE_FLOOR))
+        .collect();
+    Schedule::explicit(values)
+}
+
+/// [`asa_schedule`] seeded from measured delta statistics: `Y₁` from
+/// [`initial_temperature`] at the default hot acceptance, cold end from the
+/// smallest positive delta.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn asa_from_stats(stats: &DeltaStats, k: usize) -> Schedule {
+    let t0 = initial_temperature(stats, DEFAULT_HOT_ACCEPTANCE);
+    asa_schedule(t0, cold_scale(stats, t0), k)
+}
+
+/// A derived adaptive schedule, ready to install on a
+/// [`GFunction`](crate::GFunction) via
+/// [`with_schedule`](crate::GFunction::with_schedule): the schedule itself,
+/// the controller to attach to the strategy (acceptance mode only), and the
+/// probe cost that produced it — the caller subtracts `probe_evals` from
+/// the run budget to keep comparisons equal-cost including tuning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveSchedule {
+    /// The derived temperature schedule.
+    pub schedule: Schedule,
+    /// The feedback controller to attach ([`AdaptiveMode::Acceptance`]
+    /// only).
+    pub controller: Option<AcceptanceController>,
+    /// Cost evaluations spent measuring the [`DeltaStats`] behind this
+    /// schedule.
+    pub probe_evals: u64,
+}
+
+/// Derives a `k`-stage [`AdaptiveSchedule`] of the requested `mode` from
+/// measured delta statistics. `probe_evals` is recorded verbatim so the
+/// caller can charge it against the run budget.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use anneal_core::schedule::adaptive::{derive, AdaptiveMode};
+/// use anneal_core::DeltaStats;
+///
+/// let stats = DeltaStats {
+///     mean: 0.1,
+///     std_dev: 2.0,
+///     min_positive: Some(1.0),
+///     samples: 128,
+/// };
+/// let spec = derive(&stats, AdaptiveMode::Acceptance, 6, 128);
+/// assert_eq!(spec.schedule.len(), 6);
+/// assert!(spec.controller.is_some());
+/// let asa = derive(&stats, AdaptiveMode::Asa, 6, 128);
+/// assert!(asa.controller.is_none());
+/// assert!(asa.schedule.value(0) > asa.schedule.value(5));
+/// ```
+pub fn derive(
+    stats: &DeltaStats,
+    mode: AdaptiveMode,
+    k: usize,
+    probe_evals: u64,
+) -> AdaptiveSchedule {
+    match mode {
+        AdaptiveMode::Acceptance => AdaptiveSchedule {
+            schedule: acceptance_schedule(stats, DEFAULT_HOT_ACCEPTANCE, k),
+            controller: Some(AcceptanceController::default()),
+            probe_evals,
+        },
+        AdaptiveMode::Asa => AdaptiveSchedule {
+            schedule: asa_from_stats(stats, k),
+            controller: None,
+            probe_evals,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> DeltaStats {
+        DeltaStats {
+            mean: 0.2,
+            std_dev: 2.0,
+            min_positive: Some(1.0),
+            samples: 128,
+        }
+    }
+
+    #[test]
+    fn mode_spellings_round_trip() {
+        for m in [AdaptiveMode::Acceptance, AdaptiveMode::Asa] {
+            assert_eq!(m.to_string(), m.as_str());
+            assert_eq!(m.as_str().parse::<AdaptiveMode>().unwrap(), m);
+        }
+        assert!("grid".parse::<AdaptiveMode>().is_err());
+    }
+
+    #[test]
+    fn target_trajectory_interpolates_hot_to_cold() {
+        let c = AcceptanceController::default();
+        assert!((c.target(0, 6) - c.hot_target).abs() < 1e-12);
+        assert!((c.target(5, 6) - c.cold_target).abs() < 1e-12);
+        for s in 1..6 {
+            assert!(c.target(s, 6) < c.target(s - 1, 6), "strictly decreasing");
+        }
+        // Single-stage runs hold the hot target; out-of-range stages clamp.
+        assert_eq!(c.target(0, 1), c.hot_target);
+        assert!((c.target(99, 6) - c.cold_target).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adjust_cools_when_hot_and_reheats_when_cold() {
+        let c = AcceptanceController::default();
+        let t = 1.0;
+        assert!(c.adjust(t, 0.9, 0.5) < t, "over-accepting cools");
+        assert!(c.adjust(t, 0.1, 0.5) > t, "under-accepting reheats");
+        assert_eq!(c.adjust(t, 0.5, 0.5), t, "on target leaves T alone");
+        assert_eq!(c.with_gain(0.0).adjust(t, 0.9, 0.1), t, "zero gain");
+    }
+
+    #[test]
+    fn adjust_is_clamped_and_finite() {
+        let c = AcceptanceController::default().with_gain(1e6);
+        let cooled = c.adjust(1.0, 1.0, 0.0);
+        let heated = c.adjust(1.0, 0.0, 1.0);
+        assert!(cooled >= TEMPERATURE_FLOOR);
+        assert!(heated <= TEMPERATURE_CEILING);
+        assert!(c.adjust(f64::INFINITY, 0.5, 0.5).is_finite());
+        assert!(c.adjust(f64::NAN, 0.5, 0.5).is_finite());
+    }
+
+    #[test]
+    fn initial_temperature_hits_the_target_acceptance() {
+        let t0 = initial_temperature(&stats(), 0.8);
+        // A typical uphill move of size sigma accepts at exactly the target.
+        let p = (-stats().std_dev / t0).exp();
+        assert!((p - 0.8).abs() < 1e-12);
+        // Flat landscape falls back to the unit scale.
+        let flat = DeltaStats {
+            mean: 0.0,
+            std_dev: 0.0,
+            min_positive: None,
+            samples: 10,
+        };
+        assert!((initial_temperature(&flat, 0.5) - 1.0 / -0.5f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "in (0, 1)")]
+    fn initial_temperature_rejects_bad_target() {
+        let _ = initial_temperature(&stats(), 1.0);
+    }
+
+    #[test]
+    fn acceptance_schedule_spans_hot_to_cold() {
+        let s = acceptance_schedule(&stats(), 0.8, 6);
+        assert_eq!(s.len(), 6);
+        assert!((s.value(0) - initial_temperature(&stats(), 0.8)).abs() < 1e-12);
+        assert!((s.value(5) - 1.0 / 3.0).abs() < 1e-9);
+        for w in s.values().windows(2) {
+            assert!(w[0] > w[1]);
+        }
+        assert_eq!(acceptance_schedule(&stats(), 0.8, 1).len(), 1);
+    }
+
+    #[test]
+    fn asa_schedule_is_decreasing_and_lands_on_cold() {
+        let s = asa_schedule(8.0, 0.25, 6);
+        assert_eq!(s.len(), 6);
+        assert!((s.value(0) - 8.0).abs() < 1e-12);
+        assert!((s.value(5) - 0.25).abs() < 1e-9);
+        for w in s.values().windows(2) {
+            assert!(w[0] > w[1]);
+        }
+        // The sqrt(i) quench cools faster than geometric early on: the
+        // second stage is already below the geometric interpolation point.
+        let geometric_y2 = 8.0 * (0.25f64 / 8.0).powf(1.0 / 5.0);
+        assert!(s.value(1) < geometric_y2);
+    }
+
+    #[test]
+    fn asa_from_stats_matches_components() {
+        let s = asa_from_stats(&stats(), 6);
+        let t0 = initial_temperature(&stats(), DEFAULT_HOT_ACCEPTANCE);
+        assert!((s.value(0) - t0).abs() < 1e-12);
+        assert!((s.value(5) - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn derive_bundles_mode_and_probe_cost() {
+        let spec = derive(&stats(), AdaptiveMode::Acceptance, 6, 64);
+        assert_eq!(spec.probe_evals, 64);
+        assert_eq!(spec.schedule.len(), 6);
+        assert_eq!(spec.controller, Some(AcceptanceController::default()));
+        let asa = derive(&stats(), AdaptiveMode::Asa, 4, 32);
+        assert_eq!(asa.controller, None);
+        assert_eq!(asa.schedule.len(), 4);
+    }
+
+    #[test]
+    fn derivation_is_deterministic() {
+        let a = derive(&stats(), AdaptiveMode::Acceptance, 6, 128);
+        let b = derive(&stats(), AdaptiveMode::Acceptance, 6, 128);
+        for (x, y) in a.schedule.values().iter().zip(b.schedule.values()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}

@@ -1,6 +1,6 @@
 //! Temperature schedules (`Y₁ … Y_k`).
 //!
-//! Following [KIRK83] the paper folds Boltzmann's constant into the
+//! Following \[KIRK83\] the paper folds Boltzmann's constant into the
 //! temperature and calls the products `Y_i` "temperatures" (§1). Three
 //! schedule shapes appear in the paper:
 //!
@@ -8,8 +8,15 @@
 //! * Kirkpatrick's **geometric** schedule (`Y₁ = 10`, `Y_i = 0.9·Y_{i-1}`,
 //!   `k = 6`) used by six-temperature annealing and, rescaled, by the other
 //!   six-temperature classes, and
-//! * [GOLD84]'s **uniform** schedule (`k` evenly spaced points in `(0, τ)`,
+//! * \[GOLD84\]'s **uniform** schedule (`k` evenly spaced points in `(0, τ)`,
 //!   taken in decreasing order).
+//!
+//! The [`adaptive`] submodule derives schedules *online* from measured
+//! delta/acceptance statistics instead of the §4.2.1 grid sweep: an
+//! acceptance-ratio feedback controller, an ASA-style reannealing shape and
+//! an automatic initial-temperature estimator.
+
+pub mod adaptive;
 
 use std::fmt;
 
@@ -124,6 +131,20 @@ impl Schedule {
     /// All values, highest-index last.
     pub fn values(&self) -> &[f64] {
         &self.values
+    }
+
+    /// Overwrites the `t`-th temperature in place — the feedback hook used
+    /// by [`adaptive::AcceptanceController`] at stage boundaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= self.len()` or `y` is not finite and positive.
+    pub fn set_value(&mut self, t: usize, y: f64) {
+        assert!(
+            y.is_finite() && y > 0.0,
+            "schedule value {t} must be finite and positive, got {y}"
+        );
+        self.values[t] = y;
     }
 }
 

@@ -7,6 +7,7 @@ use super::{Run, DEFAULT_EQUILIBRIUM};
 use crate::accept::GFunction;
 use crate::budget::Budget;
 use crate::problem::Problem;
+use crate::schedule::adaptive::AcceptanceController;
 use crate::stats::{RunResult, StopReason};
 use crate::trace::{ChainObserver, NoopObserver};
 
@@ -66,7 +67,7 @@ use crate::trace::{ChainObserver, NoopObserver};
 /// );
 /// assert_eq!(result.best_cost, 0.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Figure1 {
     /// Equilibrium counter limit `n`: this many consecutive uphill rejections
     /// advance the temperature (Step 4).
@@ -74,6 +75,11 @@ pub struct Figure1 {
     /// Sample `(evals, best_cost)` into the run's trajectory every this many
     /// evaluations; 0 disables sampling.
     pub trajectory_every: u64,
+    /// Optional adaptive acceptance-ratio controller: at each temperature
+    /// advance the next stage's temperature is corrected toward the
+    /// controller's target acceptance trajectory (see
+    /// [`schedule::adaptive`](crate::schedule::adaptive)).
+    pub controller: Option<AcceptanceController>,
 }
 
 impl Default for Figure1 {
@@ -81,6 +87,7 @@ impl Default for Figure1 {
         Figure1 {
             equilibrium: DEFAULT_EQUILIBRIUM,
             trajectory_every: 0,
+            controller: None,
         }
     }
 }
@@ -97,6 +104,12 @@ impl Figure1 {
     /// Enables best-cost trajectory sampling every `every` evaluations.
     pub fn trajectory(mut self, every: u64) -> Self {
         self.trajectory_every = every;
+        self
+    }
+
+    /// Attaches (or detaches) an adaptive acceptance-ratio controller.
+    pub fn with_controller(mut self, controller: Option<AcceptanceController>) -> Self {
+        self.controller = controller;
         self
     }
 
@@ -137,6 +150,7 @@ impl Figure1 {
         let mut cost = problem.cost(&state);
         let initial_cost = cost;
         let mut run = Run::<P>::new(budget, k, self.trajectory_every, &state, cost, O::ENABLED);
+        run.enter_stage(g, self.controller.as_ref());
         if O::ENABLED {
             obs.on_run_start(initial_cost, k);
         }
@@ -146,6 +160,7 @@ impl Figure1 {
                 if !run.advance_temp(true, obs) {
                     break StopReason::Budget;
                 }
+                run.enter_stage(g, self.controller.as_ref());
                 continue;
             }
 
@@ -171,6 +186,7 @@ impl Figure1 {
                     if !run.advance_temp(false, obs) {
                         break StopReason::Equilibrium;
                     }
+                    run.enter_stage(g, self.controller.as_ref());
                 } else if g.decide_figure1(run.temp, cost, new_cost, rng) {
                     cost = new_cost;
                     run.counter = 0;
@@ -396,6 +412,62 @@ mod tests {
             t.bests.last().map(|&(_, c)| c),
             Some(traced.best_cost),
             "last best event is the final best"
+        );
+    }
+
+    #[test]
+    fn per_temp_records_stage_temperature() {
+        let mut g = GFunction::six_temp_annealing(2.0);
+        let r = run_with(&mut g, 3_000, 17);
+        for ts in &r.stats.per_temp {
+            // Without a controller the stage temperature is the schedule's
+            // own value and no target is recorded.
+            assert_eq!(
+                ts.temperature.to_bits(),
+                GFunction::six_temp_annealing(2.0)
+                    .schedule()
+                    .value(ts.temp)
+                    .to_bits()
+            );
+            assert!(ts.target_acceptance.is_nan());
+        }
+    }
+
+    #[test]
+    fn controller_tracks_targets_and_stays_deterministic() {
+        let p = BitCount;
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(23);
+            let start = p.random_state(&mut rng);
+            let mut g = GFunction::six_temp_annealing(2.0);
+            Figure1::default()
+                .with_controller(Some(AcceptanceController::default()))
+                .run(&p, &mut g, start, Budget::evaluations(6_000), &mut rng)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.best_cost.to_bits(), b.best_cost.to_bits());
+        assert_eq!(a.stats, b.stats);
+        let c = AcceptanceController::default();
+        for ts in &a.stats.per_temp {
+            assert!(ts.temperature.is_finite() && ts.temperature > 0.0);
+            assert!(
+                (ts.target_acceptance - c.target(ts.temp, 6)).abs() < 1e-12,
+                "stage {} target {}",
+                ts.temp,
+                ts.target_acceptance
+            );
+        }
+        // Feedback actually engaged: some stage after the first runs at a
+        // temperature different from the uncorrected schedule.
+        let base = GFunction::six_temp_annealing(2.0);
+        assert!(
+            a.stats
+                .per_temp
+                .iter()
+                .skip(1)
+                .any(|ts| ts.temperature.to_bits() != base.schedule().value(ts.temp).to_bits()),
+            "controller never corrected a temperature"
         );
     }
 

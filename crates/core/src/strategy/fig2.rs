@@ -7,6 +7,7 @@ use super::{Run, DEFAULT_EQUILIBRIUM};
 use crate::accept::GFunction;
 use crate::budget::Budget;
 use crate::problem::Problem;
+use crate::schedule::adaptive::AcceptanceController;
 use crate::stats::{RunResult, StopReason};
 use crate::trace::{ChainObserver, NoopObserver};
 
@@ -33,12 +34,16 @@ use crate::trace::{ChainObserver, NoopObserver};
 /// problem reports is charged against the budget, reflecting the paper's
 /// observation that finding a local optimum is expensive ("it takes about 20
 /// seconds", §4.2.4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Figure2 {
     /// Maximum uphill kick attempts `n` per temperature (Step 4).
     pub equilibrium: u64,
     /// Sample `(evals, best_cost)` every this many evaluations; 0 disables.
     pub trajectory_every: u64,
+    /// Optional adaptive acceptance-ratio controller, as on
+    /// [`Figure1`](super::Figure1): corrects each stage's temperature toward
+    /// a target acceptance trajectory at temperature advances.
+    pub controller: Option<AcceptanceController>,
 }
 
 impl Default for Figure2 {
@@ -46,6 +51,7 @@ impl Default for Figure2 {
         Figure2 {
             equilibrium: DEFAULT_EQUILIBRIUM,
             trajectory_every: 0,
+            controller: None,
         }
     }
 }
@@ -62,6 +68,12 @@ impl Figure2 {
     /// Enables best-cost trajectory sampling every `every` evaluations.
     pub fn trajectory(mut self, every: u64) -> Self {
         self.trajectory_every = every;
+        self
+    }
+
+    /// Attaches (or detaches) an adaptive acceptance-ratio controller.
+    pub fn with_controller(mut self, controller: Option<AcceptanceController>) -> Self {
+        self.controller = controller;
         self
     }
 
@@ -100,6 +112,7 @@ impl Figure2 {
         let mut cost = problem.cost(&state);
         let initial_cost = cost;
         let mut run = Run::<P>::new(budget, k, self.trajectory_every, &state, cost, O::ENABLED);
+        run.enter_stage(g, self.controller.as_ref());
         if O::ENABLED {
             obs.on_run_start(initial_cost, k);
         }
@@ -107,8 +120,11 @@ impl Figure2 {
         let stop = 'run: loop {
             // Step 2: descend to a local optimum.
             loop {
-                if run.meter.exhausted() && !run.advance_temp(true, obs) {
-                    break 'run StopReason::Budget;
+                if run.meter.exhausted() {
+                    if !run.advance_temp(true, obs) {
+                        break 'run StopReason::Budget;
+                    }
+                    run.enter_stage(g, self.controller.as_ref());
                 }
                 let mut probes = 0;
                 let improving = problem.improving_move(&state, &mut probes);
@@ -133,11 +149,17 @@ impl Figure2 {
 
             // Steps 4 & 5: uphill kicks until one is accepted.
             loop {
-                if run.counter >= self.equilibrium && !run.advance_temp(false, obs) {
-                    break 'run StopReason::Equilibrium;
+                if run.counter >= self.equilibrium {
+                    if !run.advance_temp(false, obs) {
+                        break 'run StopReason::Equilibrium;
+                    }
+                    run.enter_stage(g, self.controller.as_ref());
                 }
-                if run.meter.exhausted() && !run.advance_temp(true, obs) {
-                    break 'run StopReason::Budget;
+                if run.meter.exhausted() {
+                    if !run.advance_temp(true, obs) {
+                        break 'run StopReason::Budget;
+                    }
+                    run.enter_stage(g, self.controller.as_ref());
                 }
                 run.counter += 1;
                 let mv = problem.propose(&state, rng);

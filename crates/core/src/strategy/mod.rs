@@ -27,8 +27,10 @@ pub use replica_exchange::{ReplicaExchange, DEFAULT_EXCHANGE_INTERVAL};
 
 use std::time::Instant;
 
+use crate::accept::GFunction;
 use crate::budget::{Budget, Meter};
 use crate::problem::Problem;
+use crate::schedule::adaptive::AcceptanceController;
 use crate::stats::{AdvanceReason, RunResult, RunStats, StopReason, TempStats};
 use crate::trace::ChainObserver;
 
@@ -53,6 +55,13 @@ pub(crate) struct Run<P: Problem> {
     /// Cumulative-counter snapshot at the start of the current temperature
     /// stage, for the per-temperature breakdown.
     stage_mark: StageMark,
+    /// The temperature value the current stage runs at, recorded into its
+    /// [`TempStats`]; `NaN` when the strategy has none (e.g. rejectionless
+    /// freezing past the schedule, or strategies that never set it).
+    pub stage_temperature: f64,
+    /// The adaptive controller's acceptance target for the current stage;
+    /// `NaN` when no controller is attached.
+    pub stage_target: f64,
     /// Start of the current temperature stage; populated only when the run
     /// has an enabled [`ChainObserver`] (untraced runs never read the clock).
     stage_started: Option<Instant>,
@@ -93,8 +102,29 @@ impl<P: Problem> Run<P> {
             best_state: start.clone(),
             best_cost: cost,
             stage_mark: StageMark::default(),
+            stage_temperature: f64::NAN,
+            stage_target: f64::NAN,
             stage_started: if traced { Some(Instant::now()) } else { None },
         }
+    }
+
+    /// Records the temperature (and, with a `controller`, the acceptance
+    /// target) of the stage just entered, applying the controller's feedback
+    /// correction to the g function first. Figure-1/Figure-2 call this at
+    /// run start and after every temperature advance.
+    ///
+    /// The correction is pure arithmetic over already-collected statistics —
+    /// it never draws randomness — so runs stay bitwise deterministic.
+    pub fn enter_stage(&mut self, g: &mut GFunction, controller: Option<&AcceptanceController>) {
+        if let Some(c) = controller {
+            self.stage_target = c.target(self.temp, self.k);
+            if let Some(prev) = self.stats.per_temp.last() {
+                let planned = g.schedule().value(self.temp);
+                let corrected = c.adjust(planned, prev.acceptance_rate(), prev.target_acceptance);
+                g.set_temperature(self.temp, corrected);
+            }
+        }
+        self.stage_temperature = g.schedule().value(self.temp);
     }
 
     /// Charges `n` evaluations and samples the trajectory if due.
@@ -153,6 +183,8 @@ impl<P: Problem> Run<P> {
         let mark = self.stage_mark;
         let entry = TempStats {
             temp: self.temp,
+            temperature: self.stage_temperature,
+            target_acceptance: self.stage_target,
             evals: self.stats.evals - mark.evals,
             proposals: self.stats.proposals - mark.proposals,
             accepted_downhill: self.stats.accepted_downhill - mark.accepted_downhill,

@@ -77,6 +77,7 @@ impl Rejectionless {
         let mut cost = problem.cost(&state);
         let initial_cost = cost;
         let mut run = Run::<P>::new(budget, k, self.trajectory_every, &state, cost, O::ENABLED);
+        run.stage_temperature = g.schedule().value(0);
         if O::ENABLED {
             obs.on_run_start(initial_cost, k);
         }
@@ -86,8 +87,11 @@ impl Rejectionless {
         let mut moves: Vec<P::Move> = Vec::new();
         let mut weights: Vec<f64> = Vec::new();
         let stop = loop {
-            if run.meter.exhausted() && !run.advance_temp(true, obs) {
-                break StopReason::Budget;
+            if run.meter.exhausted() {
+                if !run.advance_temp(true, obs) {
+                    break StopReason::Budget;
+                }
+                run.stage_temperature = g.schedule().value(run.temp);
             }
             problem.all_moves_into(&state, &mut moves);
             if moves.is_empty() {
@@ -119,6 +123,7 @@ impl Rejectionless {
                 if !run.advance_temp(false, obs) {
                     break StopReason::Equilibrium;
                 }
+                run.stage_temperature = g.schedule().value(run.temp);
                 continue;
             }
 

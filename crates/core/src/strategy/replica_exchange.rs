@@ -173,6 +173,8 @@ impl ReplicaExchange {
                 rng: StdRng::seed_from_u64(derive_seed(base, r as u64 + 1)),
                 stats: TempStats {
                     temp: r,
+                    temperature: g.schedule().value(r),
+                    target_acceptance: f64::NAN,
                     evals: 0,
                     proposals: 0,
                     accepted_downhill: 0,

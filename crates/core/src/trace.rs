@@ -268,6 +268,8 @@ mod tests {
     fn stage(temp: usize) -> TempStats {
         TempStats {
             temp,
+            temperature: 2.0,
+            target_acceptance: f64::NAN,
             evals: 10,
             proposals: 9,
             accepted_downhill: 3,

@@ -37,6 +37,19 @@ pub struct TuneReport {
     pub best: CandidateOutcome,
 }
 
+impl TuneReport {
+    /// True when the winner sits on the edge of the swept grid (the first
+    /// or last candidate supplied). An interior winner is bracketed by two
+    /// losing neighbours; an edge winner may just be the closest grid point
+    /// to an optimum outside the swept range, so the sweep should be
+    /// widened before trusting it.
+    pub fn best_on_boundary(&self) -> bool {
+        let first = self.outcomes.first().map(|o| o.value);
+        let last = self.outcomes.last().map(|o| o.value);
+        Some(self.best.value) == first || Some(self.best.value) == last
+    }
+}
+
 /// A §4.2.1-style temperature tuner over a training set of instances.
 #[derive(Debug)]
 pub struct Tuner<'a, P: Problem> {
@@ -142,6 +155,28 @@ mod tests {
         assert_eq!(report.outcomes.len(), 2);
         assert_eq!(report.best.value, 0.3);
         assert!(report.best.total_reduction >= report.outcomes[0].total_reduction);
+    }
+
+    #[test]
+    fn edge_winner_is_flagged_as_boundary() {
+        let instances = [BitCount, BitCount, BitCount];
+        let tuner = Tuner::new(&instances, Budget::evaluations(2_000), 5);
+        // The cold candidate wins; as the last grid point it is a boundary
+        // winner, but flanked by hot losers it is an interior one.
+        let edge = tuner.tune(GFunction::metropolis, &[1e6, 0.3]);
+        assert_eq!(edge.best.value, 0.3);
+        assert!(edge.best_on_boundary(), "winner at the grid end");
+        let interior = tuner.tune(GFunction::metropolis, &[1e6, 0.3, 1e7]);
+        assert_eq!(interior.best.value, 0.3);
+        assert!(!interior.best_on_boundary(), "bracketed winner");
+    }
+
+    #[test]
+    fn single_candidate_is_always_a_boundary_winner() {
+        let instances = [BitCount];
+        let tuner = Tuner::new(&instances, Budget::evaluations(1), 7);
+        let report = tuner.tune(GFunction::metropolis, &[1.0]);
+        assert!(report.best_on_boundary(), "a 1-point grid cannot bracket");
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! Property-based tests for the framework's invariants.
 
+use anneal_core::schedule::adaptive;
 use anneal_core::{
-    derive_seed, Budget, Figure1, Figure2, Form, GFunction, Gate, Meter, Problem, Rng, RngExt,
-    Schedule,
+    derive_seed, AcceptanceController, Budget, DeltaStats, Figure1, Figure2, Form, GFunction, Gate,
+    Meter, Problem, Rng, RngExt, Schedule,
 };
 use proptest::prelude::*;
 use rand::{rngs::StdRng, SeedableRng};
@@ -181,6 +182,93 @@ proptest! {
         // Descent probes arrive in bursts of up to `bits`, so allow one burst
         // of overshoot.
         prop_assert!(r.stats.evals <= budget + 17);
+    }
+
+    #[test]
+    fn controller_adjust_is_monotone_in_observed_acceptance(
+        planned in 1e-9f64..1e9,
+        obs1 in 0.0f64..1.0,
+        obs2 in 0.0f64..1.0,
+        target in 0.0f64..1.0,
+        gain in 0.0f64..10.0,
+    ) {
+        let c = AcceptanceController::default().with_gain(gain);
+        let (lo, hi) = if obs1 <= obs2 { (obs1, obs2) } else { (obs2, obs1) };
+        let t_lo = c.adjust(planned, lo, target);
+        let t_hi = c.adjust(planned, hi, target);
+        // Accepting more than the comparison point can only cool further.
+        prop_assert!(t_hi <= t_lo, "adjust must be monotone decreasing in observed");
+    }
+
+    #[test]
+    fn controller_output_stays_positive_and_finite(
+        planned in prop_oneof![1e-30f64..1e30, Just(f64::INFINITY), Just(f64::NAN)],
+        observed in -1.0f64..2.0,
+        target in -1.0f64..2.0,
+        gain in 0.0f64..1e6,
+    ) {
+        let c = AcceptanceController::default().with_gain(gain);
+        let t = c.adjust(planned, observed, target);
+        prop_assert!(t.is_finite() && t > 0.0, "adjust({planned}, {observed}, {target}) = {t}");
+    }
+
+    #[test]
+    fn controller_target_trajectory_is_decreasing_and_bounded(
+        hot in 0.5f64..0.99,
+        cold_frac in 0.01f64..1.0,
+        k in 1usize..32,
+    ) {
+        let cold = hot * cold_frac;
+        let c = AcceptanceController::new(hot, cold);
+        let mut prev = f64::INFINITY;
+        for stage in 0..k {
+            let t = c.target(stage, k);
+            prop_assert!(t <= prev + 1e-12);
+            prop_assert!((cold - 1e-12..=hot + 1e-12).contains(&t));
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn adaptive_schedules_are_positive_finite_and_decreasing(
+        std_dev in 0.0f64..1e6,
+        min_positive in prop_oneof![Just(None), (1e-9f64..1e3).prop_map(Some)],
+        k in 1usize..32,
+        probe in 1u64..100_000,
+    ) {
+        let stats = DeltaStats { mean: 0.0, std_dev, min_positive, samples: probe };
+        for mode in [adaptive::AdaptiveMode::Acceptance, adaptive::AdaptiveMode::Asa] {
+            let spec = adaptive::derive(&stats, mode, k, probe);
+            prop_assert_eq!(spec.schedule.len(), k);
+            prop_assert_eq!(spec.probe_evals, probe);
+            for w in spec.schedule.values().windows(2) {
+                prop_assert!(w[0] >= w[1], "{mode}: {w:?}");
+            }
+            for &y in spec.schedule.values() {
+                prop_assert!(y.is_finite() && y > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn controlled_runs_are_deterministic(seed in any::<u64>(), budget in 100u64..3000) {
+        let p = BitCount { bits: 12 };
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let start = p.random_state(&mut rng);
+            let mut g = GFunction::six_temp_annealing(2.0);
+            Figure1::default()
+                .with_controller(Some(AcceptanceController::default()))
+                .run(&p, &mut g, start, Budget::evaluations(budget), &mut rng)
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.best_cost.to_bits(), b.best_cost.to_bits());
+        prop_assert_eq!(a.final_cost.to_bits(), b.final_cost.to_bits());
+        prop_assert_eq!(a.stats, b.stats);
+        for ts in &a.stats.per_temp {
+            prop_assert!(ts.temperature.is_finite() && ts.temperature > 0.0);
+        }
     }
 
     #[test]

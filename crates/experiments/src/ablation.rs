@@ -3,7 +3,7 @@
 //! * **Gate period** — the paper hard-codes the `g = 1` rejection gate at 18
 //!   (§3) without justification; sweep the period.
 //! * **Schedule length** — the paper fixes `k = 6` for the multi-temperature
-//!   classes ([KIRK83]) and cites [GOLD84]'s 25-point uniform schedule;
+//!   classes (\[KIRK83\]) and cites \[GOLD84\]'s 25-point uniform schedule;
 //!   sweep `k` for Boltzmann acceptance at equal total budget.
 //! * **Equilibrium limit** — the counter bound `n` is unstated in the paper;
 //!   sweep it.
@@ -67,7 +67,7 @@ pub fn gate_period(config: &SuiteConfig) -> Table {
 }
 
 /// Sweeps the Boltzmann schedule length `k` at equal total budget: `k = 1`
-/// (Metropolis), Kirkpatrick-style geometric schedules, and [GOLD84]'s
+/// (Metropolis), Kirkpatrick-style geometric schedules, and \[GOLD84\]'s
 /// uniform shape at `k = 25`.
 pub fn schedule_length(config: &SuiteConfig) -> Table {
     let set = ArrangementSet::with_random_starts(gola_paper_set(config.seed), config.seed);
@@ -103,7 +103,7 @@ pub fn schedule_length(config: &SuiteConfig) -> Table {
     table
 }
 
-/// Compares the Figure-1 strategy against [GREE84]'s rejectionless method
+/// Compares the Figure-1 strategy against \[GREE84\]'s rejectionless method
 /// at equal evaluation budgets on the GOLA set (§2: the method trades time
 /// for space — each step costs a full neighborhood evaluation).
 pub fn rejectionless(config: &SuiteConfig) -> Table {

@@ -13,7 +13,8 @@
 //! Methodology, schema, and cross-commit comparison workflow are documented
 //! in `BENCHMARKS.md` at the repository root.
 
-use anneal_core::{Annealer, Budget, GFunction, Problem, Rng, Strategy};
+use anneal_core::schedule::adaptive::{self, AdaptiveMode, DEFAULT_PROBE_SAMPLES};
+use anneal_core::{estimate_delta_stats, Annealer, Budget, GFunction, Problem, Rng, Strategy};
 use anneal_linarr::{LinearArrangementProblem, Neighborhood};
 use anneal_netlist::generator::{random_multi_pin, random_two_pin};
 use anneal_partition::PartitionProblem;
@@ -245,6 +246,65 @@ pub fn kernels() -> Vec<Kernel> {
         GFunction::six_temp_annealing(2.0),
     ));
 
+    // Adaptive temperature control: the per-instance probe + schedule
+    // derivation (the tuning cost `--schedule` charges in-run), and a full
+    // controlled chain so the controller's stage-entry arithmetic is priced
+    // against the plain Figure-1 chain above.
+    {
+        let problem = gola(1);
+        let mut rng = StdRng::seed_from_u64(BENCH_SEED ^ 0x4150);
+        list.push(Kernel {
+            name: "adaptive/probe_derive",
+            evals_per_iter: DEFAULT_PROBE_SAMPLES as f64,
+            run: Box::new(move |b| {
+                b.iter(|| {
+                    let stats = estimate_delta_stats(&problem, DEFAULT_PROBE_SAMPLES, &mut rng);
+                    std::hint::black_box(adaptive::derive(
+                        &stats,
+                        AdaptiveMode::Acceptance,
+                        6,
+                        DEFAULT_PROBE_SAMPLES,
+                    ))
+                })
+            }),
+        });
+    }
+    {
+        let problem = gola(1);
+        let mut probe_rng = StdRng::seed_from_u64(BENCH_SEED ^ 0x4151);
+        let stats = estimate_delta_stats(&problem, DEFAULT_PROBE_SAMPLES, &mut probe_rng);
+        let spec = adaptive::derive(&stats, AdaptiveMode::Acceptance, 6, DEFAULT_PROBE_SAMPLES);
+        let proto = GFunction::annealing(spec.schedule.clone());
+        let controller = spec.controller;
+        let evals = {
+            let mut g = proto.clone();
+            Annealer::new(&problem)
+                .strategy(Strategy::Figure1)
+                .budget(Budget::evaluations(CHAIN_EVALS))
+                .seed(BENCH_SEED)
+                .controller(controller)
+                .run(&mut g)
+                .stats
+                .evals
+        };
+        list.push(Kernel {
+            name: "adaptive/fig1_controlled_gola",
+            evals_per_iter: evals as f64,
+            run: Box::new(move |b| {
+                b.iter(|| {
+                    let mut g = proto.clone();
+                    let r = Annealer::new(&problem)
+                        .strategy(Strategy::Figure1)
+                        .budget(Budget::evaluations(CHAIN_EVALS))
+                        .seed(BENCH_SEED)
+                        .controller(controller)
+                        .run(&mut g);
+                    std::hint::black_box(r.best_cost)
+                })
+            }),
+        });
+    }
+
     list
 }
 
@@ -372,6 +432,24 @@ mod tests {
                 k.evals_per_iter
             );
         }
+    }
+
+    #[test]
+    fn adaptive_kernels_probe_and_run_controlled_chains() {
+        let adaptive: Vec<Kernel> = kernels()
+            .into_iter()
+            .filter(|k| k.name.starts_with("adaptive/"))
+            .collect();
+        let names: Vec<&str> = adaptive.iter().map(|k| k.name).collect();
+        assert_eq!(
+            names,
+            ["adaptive/probe_derive", "adaptive/fig1_controlled_gola"]
+        );
+        // The probe kernel is priced at exactly the evaluations the runner
+        // charges against the budget per instance.
+        assert_eq!(adaptive[0].evals_per_iter, DEFAULT_PROBE_SAMPLES as f64);
+        // The controlled chain runs a real budget's worth of work.
+        assert!(adaptive[1].evals_per_iter >= CHAIN_EVALS as f64);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //!   table4.2b   Figure 1 vs Figure 2 at 180 sec
 //!   table4.2c   NOLA, random starts
 //!   table4.2d   NOLA from Goto arrangements
+//!   adaptive    grid-swept vs feedback schedules at equal budget incl. tuning
 //!   partition   circuit-partition extension ([NAHA84])
 //!   tsp         TSP extension ([GOLD84]/[NAHA84])
 //!   ablation    design-choice ablations (gate period, schedule length, n)
@@ -28,6 +29,11 @@
 //!                     temperature rung, adjacent rungs swapping
 //!                     configurations); table4.2b always compares Figure 1
 //!                     vs Figure 2 regardless
+//!   --schedule MODE   replace every method's grid-swept temperature schedule
+//!                     with one derived per instance from a delta-statistics
+//!                     probe charged against the run budget: adaptive
+//!                     (acceptance-ratio feedback control) or asa
+//!                     (ASA-style sqrt-i reannealing, open loop)
 //!   --replicas K      replica-exchange only: rebuild each method's ladder to
 //!                     K geometric rungs (one chain per rung; K >= 2)
 //!   --exchange-interval N
@@ -206,6 +212,14 @@ fn dispatch(exp: &str, config: &SuiteConfig, log: &TelemetryLog) -> Result<Vec<T
         "tuning" => {
             let out = tuning::run(config);
             eprintln!("tuned: {:?}", out.tuned);
+            for class in &out.boundary {
+                eprintln!(
+                    "warning: {class}: winner sits on the edge of the \
+                     ×{}..×{} grid; widen the sweep to bracket its optimum",
+                    tuning::GRID[0],
+                    tuning::GRID[tuning::GRID.len() - 1]
+                );
+            }
             vec![out.table]
         }
         "table4.1" => vec![tables::table4_1::run_logged(config, log)],
@@ -213,6 +227,7 @@ fn dispatch(exp: &str, config: &SuiteConfig, log: &TelemetryLog) -> Result<Vec<T
         "table4.2b" => vec![tables::table4_2b::run_logged(config, log)],
         "table4.2c" => vec![tables::table4_2c::run_logged(config, log)],
         "table4.2d" => vec![tables::table4_2d::run_logged(config, log)],
+        "adaptive" => vec![tables::adaptive::run_logged(config, log)],
         "partition" => vec![ext_partition::run(config)],
         "tsp" => vec![ext_tsp::run(config)],
         "ablation" => vec![

@@ -36,7 +36,10 @@ pub const WAL_SCHEMA: &str = "anneal-repro-wal";
 /// * 1 — initial WAL format (PR 2), `per_temp.proposals` added in PR 4.
 /// * 2 — replica exchange: `per_temp` entries carry `ended_exchange`,
 ///   `swap_attempts` and `swap_accepts` (all default to 0 when loading v1).
-pub const WAL_VERSION: u64 = 2;
+/// * 3 — adaptive temperature control: `per_temp` entries carry
+///   `temperature` and `target_acceptance` sums (both default to NaN when
+///   loading v1/v2, rendering as "no data" rather than a wrong mean).
+pub const WAL_VERSION: u64 = 3;
 
 /// Suite parameters recorded in the WAL header, used by `--resume` to warn
 /// when a log is replayed under different settings (per-cell validation in
@@ -186,6 +189,9 @@ pub fn record_from_json(v: &Json) -> Result<CellRecord, String> {
                 .map_or(Ok(0), Json::as_u64_checked)?,
             swap_attempts: t.get("swap_attempts").map_or(Ok(0), Json::as_u64_checked)?,
             swap_accepts: t.get("swap_accepts").map_or(Ok(0), Json::as_u64_checked)?,
+            // Absent before WAL v3 (adaptive temperature control).
+            temperature: optional_f64(t, "temperature")?,
+            target_acceptance: optional_f64(t, "target_acceptance")?,
         });
     }
     let mut per_instance = Vec::new();
@@ -262,6 +268,17 @@ fn field_f64(v: &Json, key: &str) -> Result<f64, String> {
     match field(v, key)? {
         Json::Null => Ok(f64::NAN),
         other => other
+            .as_f64()
+            .ok_or_else(|| format!("field `{key}` is not a number")),
+    }
+}
+
+/// [`field_f64`] for fields older schema versions did not write: absent
+/// and `null` both map to NaN ("no data").
+fn optional_f64(v: &Json, key: &str) -> Result<f64, String> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(f64::NAN),
+        Some(other) => other
             .as_f64()
             .ok_or_else(|| format!("field `{key}` is not a number")),
     }
@@ -617,6 +634,8 @@ mod tests {
             ended_exchange: 1,
             swap_attempts: 4,
             swap_accepts: 2,
+            temperature: 3.25,
+            target_acceptance: 0.625,
         });
         r.per_instance.push(InstanceRecord {
             index: 0,
@@ -741,6 +760,53 @@ mod tests {
         assert_eq!(parsed.per_temp[0].ended_exchange, 0);
         assert_eq!(parsed.per_temp[0].swap_attempts, 0);
         assert_eq!(parsed.per_temp[0].swap_accepts, 0);
+    }
+
+    #[test]
+    fn temperature_fields_default_for_v2_logs() {
+        let mut json = sample_record(1.0).to_json();
+        // Strip the v3 fields to simulate a v2 (pre-adaptive) record.
+        json = json.replace(",\"temperature\":3.25,\"target_acceptance\":0.625", "");
+        assert!(!json.contains("temperature"), "strip actually removed them");
+        let parsed = record_from_json(&Json::parse(&json).unwrap()).unwrap();
+        assert!(parsed.per_temp[0].temperature.is_nan());
+        assert!(parsed.per_temp[0].target_acceptance.is_nan());
+    }
+
+    #[test]
+    fn nan_temperature_sums_round_trip_as_nan() {
+        let mut original = sample_record(1.0);
+        original.per_temp[0].target_acceptance = f64::NAN;
+        let json = original.to_json();
+        assert!(json.contains("\"target_acceptance\":null"), "{json}");
+        let parsed = record_from_json(&Json::parse(&json).unwrap()).unwrap();
+        assert!(parsed.per_temp[0].target_acceptance.is_nan());
+        assert_eq!(
+            parsed.per_temp[0].temperature.to_bits(),
+            original.per_temp[0].temperature.to_bits()
+        );
+        // The bitwise TempAggregate equality keeps NaN reflexive, so whole
+        // records still compare equal after the round trip.
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn older_wal_headers_still_load() {
+        for version in [1u64, 2] {
+            let line = format!(
+                "{{\"wal\":\"{WAL_SCHEMA}\",\"version\":{version},\"seed\":9,\"scale\":4}}"
+            );
+            let cp = load_str(&format!("{line}\n{}\n", sample_record(1.0).to_json())).unwrap();
+            assert_eq!(
+                cp.meta,
+                Some(WalMeta {
+                    version,
+                    seed: 9,
+                    scale: 4
+                })
+            );
+            assert_eq!(cp.cells.len(), 1);
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use std::time::Duration;
 
-use anneal_core::{Strategy, DEFAULT_EXCHANGE_INTERVAL};
+use anneal_core::{AdaptiveMode, Strategy, DEFAULT_EXCHANGE_INTERVAL};
 
 use crate::config::SuiteConfig;
 use crate::faults::FaultPlan;
@@ -15,13 +15,14 @@ use crate::runner::RetryPolicy;
 use crate::Scale;
 
 /// Every experiment name `repro` accepts, in `all` order.
-pub const EXPERIMENTS: [&str; 11] = [
+pub const EXPERIMENTS: [&str; 12] = [
     "tuning",
     "table4.1",
     "table4.2a",
     "table4.2b",
     "table4.2c",
     "table4.2d",
+    "adaptive",
     "partition",
     "tsp",
     "ablation",
@@ -31,13 +32,16 @@ pub const EXPERIMENTS: [&str; 11] = [
 
 /// One-line usage string for `repro` errors.
 pub const USAGE: &str = "usage: repro [--scale N] [--seed N] [--csv] [--threads N] \
-     [--strategy NAME] [--replicas K] [--exchange-interval N] \
+     [--strategy NAME] [--schedule MODE] [--replicas K] [--exchange-interval N] \
      [--telemetry PATH] [--resume WAL] [--trace DIR] [--metrics PATH] \
      [--progress] [--faults SPEC] [--retries N] [--backoff-ms N] \
      [--watchdog-ms N] <experiment>...";
 
 /// The `--strategy` spellings `repro` accepts.
 pub const STRATEGIES: [&str; 4] = ["figure1", "figure2", "rejectionless", "replica-exchange"];
+
+/// The `--schedule` spellings `repro` accepts.
+pub const SCHEDULES: [&str; 2] = ["adaptive", "asa"];
 
 /// Parsed `repro` invocation.
 #[derive(Debug)]
@@ -138,6 +142,16 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                 config = config.with_watchdog(Some(Duration::from_millis(ms)));
             }
             "--strategy" => strategy_name = Some(value_of("--strategy")?.clone()),
+            "--schedule" => {
+                let v = value_of("--schedule")?;
+                let mode: AdaptiveMode = v.parse().map_err(|_| {
+                    format!(
+                        "unknown --schedule `{v}` (one of: {})",
+                        SCHEDULES.join(", ")
+                    )
+                })?;
+                config = config.with_schedule(mode);
+            }
             "--replicas" => {
                 let v = value_of("--replicas")?;
                 let k: usize = v
@@ -359,6 +373,24 @@ mod tests {
         assert!(err.contains("require --strategy replica-exchange"), "{err}");
         let err = parse(&args("--strategy figure1 --exchange-interval 8 table4.1")).unwrap_err();
         assert!(err.contains("require --strategy replica-exchange"), "{err}");
+    }
+
+    #[test]
+    fn schedule_flag_parses_and_rejects_unknown_modes() {
+        use anneal_core::AdaptiveMode;
+        let cli = parse(&args("--schedule adaptive table4.1")).unwrap();
+        assert_eq!(cli.config.schedule, Some(AdaptiveMode::Acceptance));
+        let cli = parse(&args("--schedule asa adaptive")).unwrap();
+        assert_eq!(cli.config.schedule, Some(AdaptiveMode::Asa));
+        assert_eq!(cli.experiments, vec!["adaptive"]);
+        let cli = parse(&args("table4.1")).unwrap();
+        assert_eq!(cli.config.schedule, None);
+        let err = parse(&args("--schedule lam table4.1")).unwrap_err();
+        assert!(err.contains("unknown --schedule"), "{err}");
+        assert!(err.contains("adaptive, asa"), "{err}");
+        assert!(parse(&args("--schedule"))
+            .unwrap_err()
+            .contains("needs a value"));
     }
 
     #[test]

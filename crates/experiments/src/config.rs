@@ -2,7 +2,7 @@
 
 use std::time::Duration;
 
-use anneal_core::Strategy;
+use anneal_core::{AdaptiveMode, Strategy};
 
 use crate::budgetmap::Scale;
 use crate::instances::DEFAULT_SEED;
@@ -33,6 +33,11 @@ pub struct SuiteConfig {
     /// Rung-count override for replica exchange (`--replicas`): rebuild
     /// each method's ladder to this many geometric rungs before tempering.
     pub replicas: Option<usize>,
+    /// Adaptive-schedule override (`--schedule adaptive|asa`): derive each
+    /// instance's temperature schedule from a probe of its delta statistics
+    /// instead of the §4.2.1 grid-swept values, charging the probe against
+    /// the run budget. `None` keeps the tuned schedules.
+    pub schedule: Option<AdaptiveMode>,
 }
 
 impl SuiteConfig {
@@ -47,6 +52,7 @@ impl SuiteConfig {
             watchdog: None,
             strategy: None,
             replicas: None,
+            schedule: None,
         }
     }
 
@@ -95,6 +101,12 @@ impl SuiteConfig {
     /// Same configuration with a replica-exchange rung-count override.
     pub fn with_replicas(mut self, replicas: usize) -> Self {
         self.replicas = Some(replicas);
+        self
+    }
+
+    /// Same configuration with an adaptive-schedule override.
+    pub fn with_schedule(mut self, schedule: AdaptiveMode) -> Self {
+        self.schedule = Some(schedule);
         self
     }
 

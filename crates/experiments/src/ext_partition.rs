@@ -1,7 +1,7 @@
-//! **Extension: circuit partition** (§5 / [NAHA84], [KIRK83]).
+//! **Extension: circuit partition** (§5 / \[NAHA84\], \[KIRK83\]).
 //!
 //! The paper's conclusion reports that circuit-partition experiments were
-//! also performed (full tables in the [NAHA84] technical report). This
+//! also performed (full tables in the \[NAHA84\] technical report). This
 //! module reproduces the comparison the DAC paper implies: simulated
 //! annealing at Kirkpatrick's schedule versus `g = 1` versus the classical
 //! Kernighan–Lin heuristic and time-equalized multistart descent, on random

@@ -1,11 +1,11 @@
-//! **Extension: traveling salesperson** (§2 via [GOLD84]/[LIN73]/[STEW77],
-//! §5 via [NAHA84]).
+//! **Extension: traveling salesperson** (§2 via \[GOLD84\]/\[LIN73\]/\[STEW77\],
+//! §5 via \[NAHA84\]).
 //!
 //! Reproduces the comparison the paper imports from Golden & Skiscim: on
 //! random Euclidean instances, simulated annealing versus time-equalized
-//! multistart 2-opt ([LIN73]) and the constructive heuristics
+//! multistart 2-opt (\[LIN73\]) and the constructive heuristics
 //! (nearest-neighbor and Stewart-style hull insertion, each polished with a
-//! 2-opt descent). [GOLD84]'s finding — 2-opt beats annealing on most
+//! 2-opt descent). \[GOLD84\]'s finding — 2-opt beats annealing on most
 //! instances at equal time — is the shape to reproduce.
 
 use anneal_core::{derive_seed, local, Figure1, GFunction, Problem};
@@ -17,15 +17,15 @@ use rand::{rngs::StdRng, SeedableRng};
 use crate::config::SuiteConfig;
 use crate::table::Table;
 
-/// Instances in the extension set ([GOLD84] used 10).
+/// Instances in the extension set (\[GOLD84\] used 10).
 pub const N_INSTANCES: usize = 10;
 /// Cities per instance.
 pub const N_CITIES: usize = 60;
-/// Paper-equivalent seconds per instance and method. [GOLD84]'s annealing
+/// Paper-equivalent seconds per instance and method. \[GOLD84\]'s annealing
 /// runs took tens of minutes, and one full 2-opt descent on 60 cities costs
 /// on the order of 50k probe evaluations, so the comparison runs at ten
 /// minutes per instance — enough for a few complete descents, which is what
-/// the [LIN73] multistart protocol assumes.
+/// the \[LIN73\] multistart protocol assumes.
 pub const SECONDS: f64 = 600.0;
 
 /// Regenerates the TSP extension table: rows are methods; columns are the

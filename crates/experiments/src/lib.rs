@@ -14,6 +14,7 @@
 //! | Table 4.2(b) (Figure 1 vs 2) | [`tables::table4_2b::run`] | `table4.2b` |
 //! | Table 4.2(c) (NOLA, random starts) | [`tables::table4_2c::run`] | `table4.2c` |
 //! | Table 4.2(d) (NOLA from Goto) | [`tables::table4_2d::run`] | `table4.2d` |
+//! | Adaptive schedules vs the §4.2.1 sweep | [`tables::adaptive::run`] | `adaptive` |
 //! | Circuit partition extension | [`ext_partition::run`] | `partition` |
 //! | TSP extension | [`ext_tsp::run`] | `tsp` |
 //! | Design-choice ablations | [`ablation`] | `ablation` |

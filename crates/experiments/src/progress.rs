@@ -123,6 +123,9 @@ pub fn expected_cells(experiments: &[String], roster_len: usize) -> Option<usize
             "table4.1" => 21 * 3,
             "table4.2a" | "table4.2c" | "table4.2d" => roster_len * 3,
             "table4.2b" => roster_len * 2,
+            // 3 schedule rows, 3 budget columns (the tuning-evals column is
+            // computed, not run).
+            "adaptive" => 3 * 3,
             // Tuning sweeps, extensions and diagnostics record no cells
             // (or a data-dependent number of them).
             _ => return None,
@@ -174,6 +177,7 @@ mod tests {
         let exps = |names: &[&str]| names.iter().map(|s| s.to_string()).collect::<Vec<_>>();
         assert_eq!(expected_cells(&exps(&["table4.1"]), 13), Some(63));
         assert_eq!(expected_cells(&exps(&["table4.2b"]), 13), Some(26));
+        assert_eq!(expected_cells(&exps(&["adaptive"]), 13), Some(9));
         assert_eq!(
             expected_cells(&exps(&["table4.1", "table4.2a"]), 13),
             Some(63 + 39)

@@ -81,7 +81,30 @@ fn merge_per_temp(into: &mut Vec<TempAggregate>, from: &[TempAggregate]) {
         agg.ended_exchange += t.ended_exchange;
         agg.swap_attempts += t.swap_attempts;
         agg.swap_accepts += t.swap_accepts;
+        agg.temperature += t.temperature;
+        agg.target_acceptance += t.target_acceptance;
     }
+}
+
+/// Number of stages closed at an aggregate's temperature index.
+fn closed_stages(agg: &TempAggregate) -> u64 {
+    agg.ended_budget + agg.ended_equilibrium + agg.ended_exchange
+}
+
+/// Mean controlled stage temperature of one aggregate: the temperature sum
+/// over the closed-stage count. `None` when the sum is non-finite (a
+/// pre-v3 WAL loads it as NaN) or no stage closed.
+pub fn mean_temperature(agg: &TempAggregate) -> Option<f64> {
+    let stages = closed_stages(agg);
+    (stages > 0 && agg.temperature.is_finite()).then(|| agg.temperature / stages as f64)
+}
+
+/// Mean adaptive-controller target acceptance (percent) of one aggregate;
+/// `None` when no controller ran (the sum is NaN) or no stage closed.
+pub fn mean_target_acceptance(agg: &TempAggregate) -> Option<f64> {
+    let stages = closed_stages(agg);
+    (stages > 0 && agg.target_acceptance.is_finite())
+        .then(|| 100.0 * agg.target_acceptance / stages as f64)
 }
 
 /// `v` to `precision` decimals, or `n/a` for the NaN/∞ that nulls in old
@@ -120,6 +143,7 @@ pub fn render_report(cp: &Checkpoint, traces: &[CellTrace]) -> String {
     for (table, cells) in group_by(&cp.cells, |c| c.key.table.clone()) {
         let _ = writeln!(out, "## {table}\n");
         acceptance_section(&mut out, &cells);
+        temperature_section(&mut out, &cells);
         swap_section(&mut out, &cells);
         claims_section(&mut out, &cells);
         let table_traces: Vec<&CellTrace> = traces
@@ -188,6 +212,60 @@ fn acceptance_section(out: &mut String, cells: &[&CellRecord]) {
             match merged.get(t).and_then(acceptance_rate) {
                 Some(rate) => {
                     let _ = write!(out, " {rate:.1}% |");
+                }
+                None => out.push_str(" — |"),
+            }
+        }
+        out.push('\n');
+    }
+    out.push('\n');
+}
+
+/// Controlled stage temperature vs stage index, with the adaptive
+/// controller's acceptance targets next to the observed rates. Omitted when
+/// no cell carries stage temperatures (pre-v3 WALs load them as NaN).
+fn temperature_section(out: &mut String, cells: &[&CellRecord]) {
+    if !cells
+        .iter()
+        .any(|c| c.per_temp.iter().any(|t| mean_temperature(t).is_some()))
+    {
+        return;
+    }
+    let methods = group_by(cells.iter().copied(), |c| c.key.method.clone());
+    let k = cells.iter().map(|c| c.per_temp.len()).max().unwrap_or(0);
+    out.push_str("### Stage temperature and controller targets\n\n");
+    out.push_str(
+        "Mean controlled temperature per stage, aggregated over the table's \
+         budget columns. Where the adaptive controller ran, the cell also \
+         shows observed acceptance against the controller's target \
+         (`obs%→tgt%`).\n\n",
+    );
+    out.push_str("| Method |");
+    for t in 0..k {
+        let _ = write!(out, " t{t} |");
+    }
+    out.push('\n');
+    out.push_str("|---|");
+    out.push_str(&"---:|".repeat(k));
+    out.push('\n');
+    for (method, cells) in &methods {
+        let mut merged: Vec<TempAggregate> = Vec::new();
+        for c in cells {
+            merge_per_temp(&mut merged, &c.per_temp);
+        }
+        let _ = write!(out, "| {method} |");
+        for t in 0..k {
+            match merged.get(t).and_then(mean_temperature) {
+                Some(temp) => {
+                    let _ = write!(out, " {}", fin(temp, 3));
+                    if let Some(target) = merged.get(t).and_then(mean_target_acceptance) {
+                        let observed = merged
+                            .get(t)
+                            .and_then(acceptance_rate)
+                            .map_or("n/a".to_string(), |r| format!("{r:.0}%"));
+                        let _ = write!(out, " ({observed}→{target:.0}%)");
+                    }
+                    out.push_str(" |");
                 }
                 None => out.push_str(" — |"),
             }
@@ -559,6 +637,8 @@ mod tests {
             ended_exchange: 0,
             swap_attempts: 0,
             swap_accepts: 0,
+            temperature: 4.0,
+            target_acceptance: f64::NAN,
         });
         r
     }
@@ -670,6 +750,58 @@ mod tests {
     }
 
     #[test]
+    fn report_renders_temperature_section_with_targets() {
+        // One adaptive cell: two closed stages, temperature sum 4.0
+        // (mean 2.0), target sum 0.8 (mean 40%), observed acceptance 60%.
+        let mut adaptive = cell("table4.1", "Adaptive", "6 sec", 2000.0);
+        adaptive.per_temp[0].target_acceptance = 0.8;
+        let plain = cell("table4.1", "g = 1", "6 sec", 1900.0);
+        let report = render_report(&checkpoint(vec![adaptive, plain]), &[]);
+        assert!(
+            report.contains("### Stage temperature and controller targets"),
+            "{report}"
+        );
+        assert!(
+            report.contains("| Adaptive | 2.000 (60%→40%) |"),
+            "{report}"
+        );
+        // No controller → temperature only, no target annotation.
+        assert!(report.contains("| g = 1 | 2.000 |"), "{report}");
+
+        // A pre-v3 WAL (NaN temperature sums) keeps the section out.
+        let mut old = cell("t", "g = 1", "6 sec", 1.0);
+        old.per_temp[0].temperature = f64::NAN;
+        let report = render_report(&checkpoint(vec![old]), &[]);
+        assert!(!report.contains("Stage temperature"), "{report}");
+    }
+
+    #[test]
+    fn mean_temperature_and_target_handle_missing_data() {
+        let agg = TempAggregate {
+            ended_budget: 2,
+            temperature: 5.0,
+            target_acceptance: 1.0,
+            ..TempAggregate::default()
+        };
+        assert_eq!(mean_temperature(&agg), Some(2.5));
+        assert_eq!(mean_target_acceptance(&agg), Some(50.0));
+        let nan = TempAggregate {
+            ended_budget: 2,
+            temperature: f64::NAN,
+            target_acceptance: f64::NAN,
+            ..TempAggregate::default()
+        };
+        assert_eq!(mean_temperature(&nan), None);
+        assert_eq!(mean_target_acceptance(&nan), None);
+        // No closed stage → no mean, even with a finite sum.
+        let idle = TempAggregate {
+            temperature: 5.0,
+            ..TempAggregate::default()
+        };
+        assert_eq!(mean_temperature(&idle), None);
+    }
+
+    #[test]
     fn report_renders_swap_section_for_replica_exchange_cells() {
         let mut rec = cell("table4.1", "Metropolis", "6 sec", 1500.0);
         rec.per_temp[0].swap_attempts = 10;
@@ -706,7 +838,8 @@ mod tests {
             .replace(
                 ",\"ended_exchange\":0,\"swap_attempts\":0,\"swap_accepts\":0",
                 "",
-            );
+            )
+            .replace(",\"temperature\":4,\"target_acceptance\":null", "");
         let baseline = cell("table4.1", "Metropolis", "6 sec", 1900.0).to_json();
         let cp = load_str(&format!("{line}\n{baseline}\n")).unwrap();
         assert!(cp.cells[0].reduction.is_nan(), "null loads as NaN");

@@ -1,10 +1,10 @@
-//! The method roster: the paper's 20 g-function classes (plus [COHO83a])
+//! The method roster: the paper's 20 g-function classes (plus \[COHO83a\])
 //! with their tuned temperatures, in the paper's table order.
 
 use anneal_core::GFunction;
 
 /// Per-instance context a method may need when instantiating its g function
-/// (the [COHO83a] function depends on the instance's net count).
+/// (the \[COHO83a\] function depends on the instance's net count).
 #[derive(Debug, Clone, Copy)]
 pub struct MethodCtx {
     /// Number of nets `m` in the instance.
@@ -114,7 +114,7 @@ impl Default for TunedY {
     }
 }
 
-/// The full Table-4.1 roster: [COHO83a] plus all 20 g classes, in the
+/// The full Table-4.1 roster: \[COHO83a\] plus all 20 g classes, in the
 /// paper's row order. (The Goto constructive is not a g class and is handled
 /// by the table runners directly.)
 pub fn full_roster(t: TunedY) -> Vec<MethodSpec> {

@@ -21,10 +21,11 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
+use anneal_core::schedule::adaptive::{self, AcceptanceController, AdaptiveMode};
 use anneal_core::{
-    derive_seed, metrics, watchdog, Budget, ChainObserver, Figure1, Figure2, NoopObserver,
-    Rejectionless, ReplicaExchange, RunResult, RunTelemetry, Strategy, TraceCollector,
-    DEFAULT_EQUILIBRIUM,
+    derive_seed, estimate_delta_stats, metrics, watchdog, Budget, ChainObserver, Figure1, Figure2,
+    GFunction, NoopObserver, Rejectionless, ReplicaExchange, RunResult, RunTelemetry, Strategy,
+    TraceCollector, DEFAULT_EQUILIBRIUM,
 };
 use anneal_linarr::{goto_arrangement, ArrangedState, LinearArrangementProblem};
 use rand::{rngs::StdRng, SeedableRng};
@@ -36,6 +37,11 @@ use crate::trace::CellTraceWriter;
 
 /// Seed-stream salt separating start generation from chain randomness.
 const RUN_SALT: u64 = 0x52554E;
+
+/// Seed-stream salt for the adaptive-schedule probe, so probing an instance
+/// never perturbs its chain RNG stream: with `--schedule` the chain still
+/// consumes exactly the stream a grid-swept run would.
+const PROBE_SALT: u64 = 0x50524F4245;
 
 /// Bounded retry for failed cells: up to `attempts` runs per instance, with
 /// exponential backoff between attempts.
@@ -147,6 +153,14 @@ pub struct ArrangementSet {
     /// (Kirkpatrick ratio from the method's top temperature) before
     /// tempering. `None` keeps the method's own ladder.
     pub replicas: Option<usize>,
+    /// Adaptive-schedule override (`--schedule`): before each instance runs,
+    /// probe its delta statistics and replace the method's grid-swept
+    /// schedule with a derived one of the same length (see
+    /// [`adaptive::derive`]). The probe's evaluations are charged against
+    /// the instance's evaluation budget, so adaptive cells stay equal-cost
+    /// with grid-swept cells *including* tuning. `None` keeps the method's
+    /// tuned schedule.
+    pub schedule: Option<AdaptiveMode>,
 }
 
 impl ArrangementSet {
@@ -168,6 +182,7 @@ impl ArrangementSet {
             seed,
             equilibrium: DEFAULT_EQUILIBRIUM,
             replicas: None,
+            schedule: None,
         }
     }
 
@@ -183,6 +198,7 @@ impl ArrangementSet {
             seed,
             equilibrium: DEFAULT_EQUILIBRIUM,
             replicas: None,
+            schedule: None,
         }
     }
 
@@ -496,6 +512,45 @@ impl ArrangementSet {
         }
     }
 
+    /// Applies the `--schedule` override to one instance: probes the
+    /// instance's delta statistics on a salted RNG stream (independent of
+    /// the chain's, so the chain randomness is untouched), replaces `g`'s
+    /// grid-swept schedule with a derived adaptive one of the same length,
+    /// and charges the probe against an evaluation budget — adaptive cells
+    /// stay equal-cost with tuned cells *including* tuning. Returns the
+    /// (possibly reduced) budget and the feedback controller to attach
+    /// (acceptance mode on Figure-1/Figure-2 only; the other strategies run
+    /// the derived schedule open-loop).
+    fn adapt_schedule(
+        &self,
+        idx: usize,
+        problem: &LinearArrangementProblem,
+        g: &mut GFunction,
+        budget: Budget,
+    ) -> (Budget, Option<AcceptanceController>) {
+        let Some(mode) = self.schedule else {
+            return (budget, None);
+        };
+        let mut probe_rng = StdRng::seed_from_u64(derive_seed(self.seed ^ PROBE_SALT, idx as u64));
+        let stats = estimate_delta_stats(problem, adaptive::DEFAULT_PROBE_SAMPLES, &mut probe_rng);
+        let derived = adaptive::derive(
+            &stats,
+            mode,
+            g.schedule().len(),
+            adaptive::DEFAULT_PROBE_SAMPLES,
+        );
+        *g = g.clone().with_schedule(derived.schedule);
+        let budget = match budget {
+            // Floor of one evaluation: a budget smaller than the probe
+            // still runs a (vanishingly short) chain instead of panicking.
+            Budget::Evaluations(n) => {
+                Budget::Evaluations(n.saturating_sub(derived.probe_evals).max(1))
+            }
+            wall @ Budget::WallClock(_) => wall,
+        };
+        (budget, derived.controller)
+    }
+
     fn run_instance<O: ChainObserver>(
         &self,
         idx: usize,
@@ -510,24 +565,15 @@ impl ArrangementSet {
             n_nets: problem.netlist().n_nets(),
         };
         let mut g = spec.g(&ctx);
+        let (budget, controller) = self.adapt_schedule(idx, problem, &mut g, budget);
         let mut rng = StdRng::seed_from_u64(derive_seed(self.seed ^ RUN_SALT, idx as u64));
         match strategy {
-            Strategy::Figure1 => Figure1::with_equilibrium(self.equilibrium).run_traced(
-                problem,
-                &mut g,
-                start.clone(),
-                budget,
-                &mut rng,
-                obs,
-            ),
-            Strategy::Figure2 => Figure2::with_equilibrium(self.equilibrium).run_traced(
-                problem,
-                &mut g,
-                start.clone(),
-                budget,
-                &mut rng,
-                obs,
-            ),
+            Strategy::Figure1 => Figure1::with_equilibrium(self.equilibrium)
+                .with_controller(controller)
+                .run_traced(problem, &mut g, start.clone(), budget, &mut rng, obs),
+            Strategy::Figure2 => Figure2::with_equilibrium(self.equilibrium)
+                .with_controller(controller)
+                .run_traced(problem, &mut g, start.clone(), budget, &mut rng, obs),
             Strategy::Rejectionless => Rejectionless::default().run_traced(
                 problem,
                 &mut g,
@@ -660,6 +706,65 @@ mod tests {
         assert!(attempts > 0, "swaps were attempted");
         assert!(accepts <= attempts);
         assert!(record.per_temp.iter().any(|t| t.ended_exchange > 0));
+    }
+
+    #[test]
+    fn adaptive_schedule_is_deterministic_and_parallel_safe() {
+        let mut set = tiny_set();
+        set.schedule = Some(AdaptiveMode::Acceptance);
+        let roster = full_roster(TunedY::default());
+        let spec = &roster[2]; // Six Temperature Annealing
+        let budget = Budget::evaluations(2_000);
+        let a = set.run_method(spec, Strategy::Figure1, budget);
+        let b = set.run_method(spec, Strategy::Figure1, budget);
+        assert_eq!(a.to_bits(), b.to_bits(), "probe + controller are pure");
+        for threads in [2, 8] {
+            let par = set.run_method_parallel(spec, Strategy::Figure1, budget, threads);
+            assert_eq!(a.to_bits(), par.to_bits(), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn adaptive_cells_record_controller_telemetry_and_charge_the_probe() {
+        let roster = full_roster(TunedY::default());
+        let spec = &roster[2]; // Six Temperature Annealing
+        let budget = Budget::evaluations(2_000);
+        let run = |mode| {
+            let mut set = tiny_set();
+            set.schedule = mode;
+            let log = TelemetryLog::in_memory();
+            let _ = set.run_cell(
+                CellKey::new("test", spec.name(), "2000 evals"),
+                spec,
+                Strategy::Figure1,
+                budget,
+                &CellPolicy::sequential(),
+                &log,
+            );
+            log.records().remove(0)
+        };
+        let tuned = run(None);
+        let acc = run(Some(AdaptiveMode::Acceptance));
+        let asa = run(Some(AdaptiveMode::Asa));
+        for r in [&tuned, &acc, &asa] {
+            assert!(r.ok());
+            assert!(r.per_temp.iter().all(|t| t.temperature.is_finite()));
+        }
+        // Only the acceptance controller publishes a target trajectory.
+        assert!(acc.per_temp.iter().all(|t| t.target_acceptance.is_finite()));
+        assert!(asa.per_temp.iter().all(|t| t.target_acceptance.is_nan()));
+        assert!(tuned.per_temp.iter().all(|t| t.target_acceptance.is_nan()));
+        // The probe is charged: no adaptive instance may spend more chain
+        // evaluations than the reduced budget allows.
+        let cap = 2_000 - adaptive::DEFAULT_PROBE_SAMPLES;
+        for r in [&acc, &asa] {
+            for i in &r.per_instance {
+                assert!(i.evals <= cap, "instance {} spent {}", i.index, i.evals);
+            }
+        }
+        // A derived schedule actually ran: the cell value moved off the
+        // grid-swept one.
+        assert_ne!(acc.reduction.to_bits(), tuned.reduction.to_bits());
     }
 
     #[test]

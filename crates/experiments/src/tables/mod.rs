@@ -1,6 +1,8 @@
-//! One module per paper table. Each `run` function regenerates the
+//! One module per paper table (plus the adaptive-schedule comparison that
+//! replaces the §4.2.1 sweep). Each `run` function regenerates the
 //! corresponding table; see DESIGN.md's experiment index.
 
+pub mod adaptive;
 pub mod table4_1;
 pub mod table4_2a;
 pub mod table4_2b;

@@ -1,6 +1,6 @@
 //! **Table 4.1** — GOLA, random starts, Figure-1 strategy: total density
 //! reduction over 30 instances for all 20 g classes (plus the Goto and
-//! [COHO83a] baselines) at 6, 9 and 12 seconds per instance.
+//! \[COHO83a\] baselines) at 6, 9 and 12 seconds per instance.
 
 use crate::budgetmap::PAPER_SECONDS;
 use crate::config::SuiteConfig;
@@ -22,6 +22,7 @@ pub fn run_logged(config: &SuiteConfig, log: &TelemetryLog) -> Table {
     let problems = gola_paper_set(config.seed);
     let mut set = ArrangementSet::with_random_starts(problems, config.seed);
     set.replicas = config.replicas;
+    set.schedule = config.schedule;
 
     let columns: Vec<String> = PAPER_SECONDS
         .iter()

@@ -21,6 +21,7 @@ pub fn run_logged(config: &SuiteConfig, log: &TelemetryLog) -> Table {
     let problems = gola_paper_set(config.seed);
     let mut set = ArrangementSet::with_goto_starts(problems, config.seed);
     set.replicas = config.replicas;
+    set.schedule = config.schedule;
 
     let columns: Vec<String> = PAPER_SECONDS
         .iter()

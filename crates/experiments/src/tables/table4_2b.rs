@@ -21,7 +21,8 @@ pub fn run(config: &SuiteConfig) -> Table {
 /// [`table4_1::run_logged`](crate::tables::table4_1::run_logged)).
 pub fn run_logged(config: &SuiteConfig, log: &TelemetryLog) -> Table {
     let problems = gola_paper_set(config.seed);
-    let set = ArrangementSet::with_random_starts(problems, config.seed);
+    let mut set = ArrangementSet::with_random_starts(problems, config.seed);
+    set.schedule = config.schedule;
     let budget = config.scale.vax_seconds(PAPER_SECONDS_42B);
 
     let mut table = Table::new(

@@ -80,7 +80,7 @@ pub struct InstanceRecord {
 }
 
 /// Per-temperature counters aggregated over a cell's instances.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct TempAggregate {
     /// Temperature index.
     pub temp: usize,
@@ -107,7 +107,37 @@ pub struct TempAggregate {
     /// Replica-exchange swaps accepted (WAL schema v2; loads as 0 from
     /// v1 logs).
     pub swap_accepts: u64,
+    /// Sum of the controlled stage temperatures across instances (WAL
+    /// schema v3; loads as NaN from v1/v2 logs). Divide by the stage
+    /// count (`ended_*` sum) for the mean stage temperature.
+    pub temperature: f64,
+    /// Sum of the controller's target acceptance rates across instances
+    /// (WAL schema v3). NaN when no adaptive controller ran, and when
+    /// loading v1/v2 logs.
+    pub target_acceptance: f64,
 }
+
+/// `f64` sums compare bitwise so NaN (no controller, or a pre-v3 log)
+/// stays reflexive and WAL round-trip tests can use plain equality.
+impl PartialEq for TempAggregate {
+    fn eq(&self, other: &Self) -> bool {
+        self.temp == other.temp
+            && self.evals == other.evals
+            && self.proposals == other.proposals
+            && self.accepted_downhill == other.accepted_downhill
+            && self.accepted_uphill == other.accepted_uphill
+            && self.rejected_uphill == other.rejected_uphill
+            && self.ended_budget == other.ended_budget
+            && self.ended_equilibrium == other.ended_equilibrium
+            && self.ended_exchange == other.ended_exchange
+            && self.swap_attempts == other.swap_attempts
+            && self.swap_accepts == other.swap_accepts
+            && self.temperature.to_bits() == other.temperature.to_bits()
+            && self.target_acceptance.to_bits() == other.target_acceptance.to_bits()
+    }
+}
+
+impl Eq for TempAggregate {}
 
 /// A caught instance panic inside a cell.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -192,6 +222,11 @@ impl CellRecord {
             agg.rejected_uphill += stage.rejected_uphill;
             agg.swap_attempts += stage.swap_attempts;
             agg.swap_accepts += stage.swap_accepts;
+            // NaN (rejectionless-style stages, pre-controller cores)
+            // poisons the sum, which serializes as null — "no data"
+            // rather than a silently wrong mean.
+            agg.temperature += stage.temperature;
+            agg.target_acceptance += stage.target_acceptance;
             match stage.ended_by {
                 AdvanceReason::Budget => agg.ended_budget += 1,
                 AdvanceReason::Equilibrium => agg.ended_equilibrium += 1,
@@ -280,7 +315,7 @@ impl CellRecord {
                 "{{\"temp\":{},\"evals\":{},\"proposals\":{},\"accepted_downhill\":{},\
                  \"accepted_uphill\":{},\"rejected_uphill\":{},\"ended_budget\":{},\
                  \"ended_equilibrium\":{},\"ended_exchange\":{},\"swap_attempts\":{},\
-                 \"swap_accepts\":{}}}",
+                 \"swap_accepts\":{},\"temperature\":{},\"target_acceptance\":{}}}",
                 t.temp,
                 t.evals,
                 t.proposals,
@@ -291,7 +326,9 @@ impl CellRecord {
                 t.ended_equilibrium,
                 t.ended_exchange,
                 t.swap_attempts,
-                t.swap_accepts
+                t.swap_accepts,
+                json_f64(t.temperature),
+                json_f64(t.target_acceptance)
             ));
         }
         s.push_str("],");

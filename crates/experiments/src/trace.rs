@@ -17,7 +17,7 @@
 //! {"event":"run_start","instance":0,"seed":..,"attempt":1,"initial_cost":..,"temperatures":..}
 //! {"event":"temp","instance":0,"temp":0,"evals":..,"proposals":..,"accepted_downhill":..,
 //!  "accepted_uphill":..,"rejected_uphill":..,"swap_attempts":..,"swap_accepts":..,
-//!  "ended_by":"budget","wall_ms":..}
+//!  "temperature":..,"target_acceptance":..,"ended_by":"budget","wall_ms":..}
 //! {"event":"sample","instance":0,"evals":..,"cost":..}
 //! {"event":"best","instance":0,"evals":..,"cost":..}
 //! {"event":"stop","instance":0,"reason":"budget","evals":..,"final_cost":..,"best_cost":..,
@@ -40,8 +40,10 @@ pub const TRACE_SCHEMA: &str = "anneal-chain-trace";
 /// Current trace format version. Loaders accept this version or older.
 ///
 /// History: v1 had no replica-exchange swap counters on `temp` events;
-/// v2 added `swap_attempts`/`swap_accepts` (absent fields load as 0).
-pub const TRACE_VERSION: u64 = 2;
+/// v2 added `swap_attempts`/`swap_accepts` (absent fields load as 0);
+/// v3 added `temperature`/`target_acceptance` on `temp` events for the
+/// adaptive temperature controller (absent fields load as NaN).
+pub const TRACE_VERSION: u64 = 3;
 
 /// Creates per-cell trace writers under one directory; the `--trace DIR`
 /// half of the observability pipeline.
@@ -205,6 +207,7 @@ pub fn instance_lines(instance: usize, seed: u64, attempt: u32, trace: &ChainTra
             "{{\"event\":\"temp\",\"instance\":{instance},\"temp\":{},\"evals\":{},\
              \"proposals\":{},\"accepted_downhill\":{},\"accepted_uphill\":{},\
              \"rejected_uphill\":{},\"swap_attempts\":{},\"swap_accepts\":{},\
+             \"temperature\":{},\"target_acceptance\":{},\
              \"ended_by\":\"{}\",\"wall_ms\":{}}}\n",
             t.temp,
             t.evals,
@@ -214,6 +217,8 @@ pub fn instance_lines(instance: usize, seed: u64, attempt: u32, trace: &ChainTra
             t.rejected_uphill,
             t.swap_attempts,
             t.swap_accepts,
+            num(t.temperature),
+            num(t.target_acceptance),
             t.ended_by.as_str(),
             num(stage.wall.as_secs_f64() * 1e3)
         ));
@@ -296,6 +301,12 @@ pub enum TraceEvent {
         swap_attempts: u64,
         /// Replica-exchange swaps accepted.
         swap_accepts: u64,
+        /// Controlled stage temperature (trace v3; NaN in older traces
+        /// and for schedule-free acceptance functions).
+        temperature: f64,
+        /// Adaptive-controller target acceptance rate for the stage
+        /// (trace v3; NaN when no controller ran).
+        target_acceptance: f64,
         /// Why the stage ended.
         ended_by: AdvanceReason,
         /// Wall-clock milliseconds spent in the stage.
@@ -487,6 +498,9 @@ fn event_from_json(v: &Json) -> Result<TraceEvent, String> {
             // Absent in v1 traces (pre replica-exchange).
             swap_attempts: v.get("swap_attempts").map_or(Ok(0), Json::as_u64_checked)?,
             swap_accepts: v.get("swap_accepts").map_or(Ok(0), Json::as_u64_checked)?,
+            // Absent before v3 (pre adaptive temperature control).
+            temperature: optional_f64_field(v, "temperature")?,
+            target_acceptance: optional_f64_field(v, "target_acceptance")?,
             ended_by: str_field(v, "ended_by")?.parse()?,
             wall_ms: f64_field(v, "wall_ms")?,
         }),
@@ -534,6 +548,17 @@ fn f64_field(v: &Json, key: &str) -> Result<f64, String> {
     }
 }
 
+/// [`f64_field`] for fields older trace versions did not write: absent and
+/// `null` both map to NaN.
+fn optional_f64_field(v: &Json, key: &str) -> Result<f64, String> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(f64::NAN),
+        Some(other) => other
+            .as_f64()
+            .ok_or_else(|| format!("field `{key}` is not a number")),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -562,6 +587,8 @@ mod tests {
         trace.stages.push(StageTrace {
             stats: TempStats {
                 temp: 0,
+                temperature: 2.5,
+                target_acceptance: 0.4,
                 evals: 10,
                 proposals: 10,
                 accepted_downhill: 3,
@@ -596,10 +623,14 @@ mod tests {
             TraceEvent::Temp {
                 proposals,
                 ended_by,
+                temperature,
+                target_acceptance,
                 ..
             } => {
                 assert_eq!(*proposals, 10);
                 assert_eq!(*ended_by, AdvanceReason::Budget);
+                assert_eq!(temperature.to_bits(), 2.5f64.to_bits());
+                assert_eq!(target_acceptance.to_bits(), 0.4f64.to_bits());
             }
             other => panic!("expected temp event, got {other:?}"),
         }
@@ -620,10 +651,41 @@ mod tests {
             TraceEvent::Temp {
                 swap_attempts,
                 swap_accepts,
+                temperature,
+                target_acceptance,
                 ..
             } => {
                 assert_eq!(*swap_attempts, 0);
                 assert_eq!(*swap_accepts, 0);
+                assert!(temperature.is_nan(), "absent pre-v3 field loads as NaN");
+                assert!(target_acceptance.is_nan());
+            }
+            other => panic!("expected temp event, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn v2_temp_events_load_with_nan_temperature() {
+        let header = format!(
+            "{{\"trace\":\"{TRACE_SCHEMA}\",\"version\":2,\"table\":\"t\",\"method\":\"m\",\
+             \"column\":\"c\",\"strategy\":\"Figure1\",\"budget\":\"b\",\"base_seed\":1}}"
+        );
+        let temp = "{\"event\":\"temp\",\"instance\":0,\"temp\":0,\"evals\":9,\
+             \"proposals\":9,\"accepted_downhill\":3,\"accepted_uphill\":2,\
+             \"rejected_uphill\":4,\"swap_attempts\":1,\"swap_accepts\":1,\
+             \"ended_by\":\"budget\",\"wall_ms\":1.5}";
+        let parsed = parse_str(&format!("{header}\n{temp}\n")).unwrap();
+        assert_eq!(parsed.meta.version, 2);
+        match &parsed.events[0] {
+            TraceEvent::Temp {
+                swap_attempts,
+                temperature,
+                target_acceptance,
+                ..
+            } => {
+                assert_eq!(*swap_attempts, 1);
+                assert!(temperature.is_nan());
+                assert!(target_acceptance.is_nan());
             }
             other => panic!("expected temp event, got {other:?}"),
         }

@@ -1,8 +1,8 @@
 //! Best-cost trajectories: the convergence series behind the paper's
 //! tables. The paper reports only endpoint reductions; the trajectory view
 //! shows *how* each method gets there (and is the natural companion to the
-//! asymptotic-convergence discussion it cites from [ROME84a/b], [LUND83]
-//! and [GEM83]).
+//! asymptotic-convergence discussion it cites from \[ROME84a/b\], \[LUND83\]
+//! and \[GEM83\]).
 
 use anneal_core::{derive_seed, Figure1};
 use rand::{rngs::StdRng, SeedableRng};

@@ -25,6 +25,11 @@ pub struct TuningOutcome {
     pub tuned: TunedY,
     /// Rows: g classes; columns: total reduction per grid multiplier.
     pub table: Table,
+    /// Classes whose winner sat on the edge of the grid (×[`GRID`]`[0]` or
+    /// ×[`GRID`]`[last]`): the sweep did not bracket their optimum, so the
+    /// tuned `Y₁` should be treated as a lower bound on what a wider sweep
+    /// would find.
+    pub boundary: Vec<String>,
 }
 
 /// Runs the tuning sweep.
@@ -155,6 +160,7 @@ pub fn run(config: &SuiteConfig) -> TuningOutcome {
         ),
     ];
 
+    let mut boundary = Vec::new();
     for (name, base_y, factory, setter) in classes {
         let candidates: Vec<f64> = GRID.iter().map(|m| base_y * m).collect();
         let report = tuner.tune(factory, &candidates);
@@ -162,10 +168,17 @@ pub fn run(config: &SuiteConfig) -> TuningOutcome {
             name,
             report.outcomes.iter().map(|o| o.total_reduction).collect(),
         );
+        if report.best_on_boundary() {
+            boundary.push(name.to_string());
+        }
         setter(&mut tuned, report.best.value);
     }
 
-    TuningOutcome { tuned, table }
+    TuningOutcome {
+        tuned,
+        table,
+        boundary,
+    }
 }
 
 #[cfg(test)]
@@ -183,5 +196,29 @@ mod tests {
         assert!(grid_of(SuiteConfig::paper().tuned.metropolis)
             .iter()
             .any(|&c| (c - out.tuned.metropolis).abs() < 1e-12));
+    }
+
+    #[test]
+    fn boundary_list_matches_the_rows_edge_winners() {
+        // The boundary warnings must agree with the table: a class is
+        // flagged exactly when its row's maximum sits in the first or last
+        // grid column (ties resolve to the earlier column, as in the
+        // tuner).
+        let out = run(&SuiteConfig::scaled(4));
+        for (name, row) in &out.table.rows {
+            let mut best = 0usize;
+            for (i, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = i;
+                }
+            }
+            let on_edge = best == 0 || best == GRID.len() - 1;
+            assert_eq!(
+                out.boundary.contains(name),
+                on_edge,
+                "{name}: winner in column {best}, boundary list {:?}",
+                out.boundary
+            );
+        }
     }
 }

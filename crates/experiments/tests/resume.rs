@@ -7,8 +7,9 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use anneal_experiments::{
-    checkpoint, tables::table4_2b, FaultPlan, RetryPolicy, SuiteConfig, Table, TelemetryLog,
-    WalMeta,
+    checkpoint,
+    tables::{adaptive, table4_2b},
+    FaultPlan, RetryPolicy, SuiteConfig, Table, TelemetryLog, WalMeta,
 };
 
 /// A WAL sink the test can inspect after the "process" dies.
@@ -97,6 +98,62 @@ fn killed_run_resumes_bitwise_identical() {
     let summary = resumed_log.summary();
     assert_eq!(summary.replayed, 10, "the 10 intact cells were not re-run");
     assert_eq!(summary.cells, 26);
+    assert!(!summary.degraded());
+}
+
+/// An adaptive-schedule cell carries a per-instance probe, a derived
+/// schedule, and (in acceptance mode) an in-run feedback controller — the
+/// whole pipeline must survive a kill + `--resume` with every f64 bit
+/// intact, including the WAL-v3 temperature/target sums.
+#[test]
+fn killed_adaptive_run_resumes_bitwise_identical() {
+    // Scale 10 keeps the budgets (150/225/300 evals) above the 128-eval
+    // probe, so the resumed cells replay real controlled chains.
+    let config = SuiteConfig::scaled(10).with_seed(7);
+    let clean = adaptive::run_logged(&config, &TelemetryLog::in_memory());
+
+    let buf = SharedBuf::default();
+    let wal = TelemetryLog::with_writer(Box::new(buf.clone()));
+    {
+        let mut w = buf.0.lock().unwrap();
+        writeln!(
+            w,
+            "{}",
+            WalMeta::new(config.seed, config.scale.divisor).header_line()
+        )
+        .unwrap();
+    }
+    adaptive::run_logged(&config, &wal);
+
+    let full = buf.contents();
+    let lines: Vec<&str> = full.lines().collect();
+    assert_eq!(lines.len(), 10, "header + 9 cell records");
+    // Kill after 4 intact records plus half of the fifth.
+    let mut killed = lines[..5].join("\n");
+    killed.push('\n');
+    killed.push_str(&lines[5][..lines[5].len() / 2]);
+
+    let checkpoint = checkpoint::load_str(&killed).expect("killed WAL still loads");
+    assert!(checkpoint.torn);
+    assert_eq!(checkpoint.cells.len(), 4);
+    // The adaptive cells' controller telemetry round-tripped exactly.
+    let acceptance = checkpoint
+        .cells
+        .iter()
+        .find(|c| c.key.method == "Adaptive (acceptance)")
+        .expect("an acceptance-mode cell was committed before the kill");
+    assert!(acceptance
+        .per_temp
+        .iter()
+        .all(|t| t.temperature.is_finite() && t.target_acceptance.is_finite()));
+
+    let resumed_log = TelemetryLog::in_memory().with_resume(checkpoint.cells);
+    let resumed = adaptive::run_logged(&config, &resumed_log);
+
+    assert_bitwise_identical(&clean, &resumed, "adaptive kill + resume");
+    let summary = resumed_log.summary();
+    assert_eq!(summary.replayed, 4, "the 4 intact cells were not re-run");
+    assert_eq!(summary.cells, 9);
     assert!(!summary.degraded());
 }
 

@@ -27,6 +27,8 @@ fn pinned_trace() -> ChainTrace {
             StageTrace {
                 stats: TempStats {
                     temp: 0,
+                    temperature: 2.0,
+                    target_acceptance: 0.8,
                     evals: 10,
                     proposals: 10,
                     accepted_downhill: 3,
@@ -41,6 +43,10 @@ fn pinned_trace() -> ChainTrace {
             StageTrace {
                 stats: TempStats {
                     temp: 1,
+                    // NaN pins the null-serialization path for stages with
+                    // no controller target.
+                    temperature: 0.5,
+                    target_acceptance: f64::NAN,
                     evals: 6,
                     proposals: 6,
                     accepted_downhill: 1,

@@ -12,9 +12,9 @@
 //!
 //! The crate provides the permutation state with **incremental** cut-density
 //! evaluation ([`ArrangedState`]), the [`anneal_core::Problem`]
-//! implementation with the paper's pairwise-interchange and [COHO83a]
+//! implementation with the paper's pairwise-interchange and \[COHO83a\]
 //! single-exchange neighborhoods ([`LinearArrangementProblem`]), and the
-//! constructive baseline of [GOTO77] ([`goto_arrangement`]).
+//! constructive baseline of \[GOTO77\] ([`goto_arrangement`]).
 //!
 //! # Examples
 //!

@@ -26,7 +26,7 @@ pub enum Neighborhood {
     #[default]
     PairwiseInterchange,
     /// Remove one element and reinsert it at another position — the "single
-    /// exchange" of [COHO83a].
+    /// exchange" of \[COHO83a\].
     SingleExchange,
 }
 

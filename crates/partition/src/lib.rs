@@ -5,7 +5,7 @@
 //! Balanced two-way circuit partitioning: the problem Kirkpatrick, Gelatt
 //! and Vecchi annealed with the `Y₁ = 10, Y_i = 0.9·Y_{i-1}` schedule the
 //! DAC 1985 paper quotes in §1, and one of the two extension problems the
-//! paper's conclusion points to ([NAHA84]).
+//! paper's conclusion points to (\[NAHA84\]).
 //!
 //! Provides the [`anneal_core::Problem`] implementation with incremental
 //! net-cut maintenance and balance-preserving swap moves

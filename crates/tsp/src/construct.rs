@@ -1,5 +1,5 @@
 //! Constructive TSP heuristics: the "sophisticated" classical baselines the
-//! paper's §2 discussion (via [GOLD84] and [STEW77]) pits against simulated
+//! paper's §2 discussion (via \[GOLD84\] and \[STEW77\]) pits against simulated
 //! annealing.
 
 use crate::instance::TspInstance;
@@ -48,7 +48,7 @@ pub fn nearest_neighbor(instance: &TspInstance, start: usize) -> Tour {
 }
 
 /// Convex-hull cheapest-insertion construction, in the spirit of Stewart's
-/// CCAO heuristic [STEW77]: start from the convex hull of the cities (an
+/// CCAO heuristic \[STEW77\]: start from the convex hull of the cities (an
 /// optimal "skeleton" every optimal tour visits in hull order), then
 /// repeatedly insert the remaining city with the cheapest insertion cost at
 /// its cheapest position.

@@ -3,16 +3,16 @@
 //! # anneal-tsp
 //!
 //! The Euclidean traveling-salesperson substrate for the DAC 1985
-//! reproduction's extension experiments (§2 discusses [GOLD84]'s
+//! reproduction's extension experiments (§2 discusses \[GOLD84\]'s
 //! SA-vs-heuristics TSP study; the paper's own TSP experiments live in the
-//! [NAHA84] technical report it summarizes).
+//! \[NAHA84\] technical report it summarizes).
 //!
 //! Provides instances with precomputed distance matrices ([`TspInstance`]),
 //! tours with O(1) 2-opt/or-opt deltas ([`Tour`]), the
 //! [`anneal_core::Problem`] implementation ([`TspProblem`]), and the
 //! classical baselines: [`nearest_neighbor`], Stewart-style
 //! [`hull_cheapest_insertion`], and [`two_opt_descent`] (combine with
-//! [`anneal_core::local::multistart`] for the time-equalized [LIN73]
+//! [`anneal_core::local::multistart`] for the time-equalized \[LIN73\]
 //! protocol).
 //!
 //! # Examples
@@ -30,7 +30,7 @@
 //!     .budget(Budget::evaluations(20_000))
 //!     .run(&mut GFunction::six_temp_annealing(0.3));
 //!
-//! // …vs time-equalized multistart 2-opt ([GOLD84]'s protocol).
+//! // …vs time-equalized multistart 2-opt (\[GOLD84\]'s protocol).
 //! let mut rng2 = StdRng::seed_from_u64(85);
 //! let lin = multistart(&problem, Budget::evaluations(20_000), &mut rng2);
 //!

@@ -27,7 +27,7 @@ pub enum TourMove {
 /// The perturbation neighborhood for [`TspProblem`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum TourNeighborhood {
-    /// Random segment reversals — the 2-opt moves of [LIN73].
+    /// Random segment reversals — the 2-opt moves of \[LIN73\].
     #[default]
     TwoOpt,
     /// Random single-city relocations.

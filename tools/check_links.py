@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Markdown link and anchor checker for the repo's documentation set.
+
+Checks every inline markdown link in the given files (default: the
+top-level docs):
+
+  * relative file links must point at files that exist in the repo;
+  * `#anchor` fragments — both intra-document and cross-document — must
+    match a heading in the target file, using GitHub's slugging rules
+    (lowercase, punctuation stripped, spaces to hyphens, duplicate slugs
+    suffixed -1, -2, ...).
+
+External links (http/https/mailto) are not fetched; CI must not depend
+on the network. Exit status is 0 when every link resolves, 1 otherwise,
+with one `file:line: message` diagnostic per broken link.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+DEFAULT_DOCS = [
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "BENCHMARKS.md",
+    "CHANGELOG.md",
+]
+
+# Inline links: [text](target). Images share the syntax; the leading `!`
+# does not change resolution rules. Nested ] inside the text is rare
+# enough in these docs to ignore.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    """The anchor GitHub generates for a heading."""
+    # Inline code and emphasis markers don't survive into the slug text.
+    text = re.sub(r"[`*_]", "", heading)
+    # Links in headings anchor on their text.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path, cache: dict) -> set:
+    """All heading anchors of a markdown file, slug-deduplicated."""
+    if path in cache:
+        return cache[path]
+    slugs: set = set()
+    counts: dict = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if not m:
+            continue
+        slug = github_slug(m.group(2))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    cache[path] = slugs
+    return slugs
+
+
+def check_file(doc: Path, root: Path, cache: dict) -> list:
+    errors = []
+    in_fence = False
+    for lineno, line in enumerate(
+        doc.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in LINK_RE.finditer(line):
+            target = m.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part, _, fragment = target.partition("#")
+            if path_part:
+                dest = (doc.parent / path_part).resolve()
+                if not dest.exists():
+                    errors.append(f"{doc}:{lineno}: broken link `{target}`")
+                    continue
+            else:
+                dest = doc.resolve()
+            if fragment:
+                if dest.suffix != ".md" or dest.is_dir():
+                    continue
+                if fragment.lower() not in anchors_of(dest, cache):
+                    try:
+                        shown = dest.relative_to(root)
+                    except ValueError:
+                        shown = dest
+                    errors.append(
+                        f"{doc}:{lineno}: no heading for anchor "
+                        f"`#{fragment}` in {shown}"
+                    )
+    return errors
+
+
+def main(argv: list) -> int:
+    root = Path(__file__).resolve().parent.parent
+    docs = [Path(a) for a in argv] if argv else [root / d for d in DEFAULT_DOCS]
+    cache: dict = {}
+    errors = []
+    checked = 0
+    for doc in docs:
+        if not doc.exists():
+            errors.append(f"{doc}: file not found")
+            continue
+        checked += 1
+        errors.extend(check_file(doc, root, cache))
+    for e in errors:
+        print(e, file=sys.stderr)
+    if errors:
+        print(f"FAILED: {len(errors)} broken links in {checked} files",
+              file=sys.stderr)
+        return 1
+    print(f"ok: {checked} files, all links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
