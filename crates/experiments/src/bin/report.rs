@@ -26,7 +26,7 @@
 use std::path::Path;
 use std::process::ExitCode;
 
-use anneal_experiments::{checkpoint, reporting, trace};
+use anneal_experiments::{checkpoint, exit_codes, reporting, trace};
 
 const USAGE: &str = "usage: report --wal WAL [--trace DIR] [--out PATH]\n\
        report --compare OLD.json NEW.json [--threshold PCT] [--strict]";
@@ -132,7 +132,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             );
         }
         return Ok(if regressed && parsed.strict {
-            ExitCode::from(3)
+            ExitCode::from(exit_codes::BENCH_REGRESSION)
         } else {
             ExitCode::SUCCESS
         });

@@ -60,18 +60,33 @@
 //!                     (default 1 = no retries)
 //!   --backoff-ms N    base delay before a retry, doubled per attempt
 //!   --watchdog-ms N   per-instance wall-clock deadline; see EXPERIMENTS.md
+//!   --isolation MODE  thread (default: in-process catch_unwind + watchdog)
+//!                     or process: run every table cell in a supervised
+//!                     child process — survives aborts, OOM kills and true
+//!                     hangs, retries dead workers under the --retries
+//!                     backoff, and trips a per-table circuit breaker
+//!   --heartbeat-ms N  process isolation: worker heartbeat interval
+//!                     (default 250); a silent worker is presumed wedged
+//!                     and killed
+//!   --breaker-threshold N
+//!                     process isolation: consecutive hard process failures
+//!                     in one table before the rest of that table is
+//!                     skipped (default 3)
 //!
 //! Exit status: 0 on success, 1 on usage errors, 2 when the suite is
-//! degraded (failed cells or lost telemetry records) — a failure manifest
-//! is written next to the WAL in that case.
+//! degraded (failed cells, tripped breakers or lost telemetry records) — a
+//! failure manifest is written next to the WAL in that case. A run ended
+//! by SIGINT/SIGTERM drains its in-flight work, leaves a clean resumable
+//! WAL, and exits 128 + signal (130 / 143).
 //! ```
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use anneal_experiments::{
-    ablation, checkpoint, cli, diagnostics, ext_partition, ext_tsp, full_roster, progress, tables,
-    trajectory, tuning, ChaosWriter, FaultPlan, Progress, SuiteConfig, Table, TelemetryLog,
-    TraceSink, TunedY,
+    ablation, checkpoint, cli, diagnostics, exit_codes, ext_partition, ext_tsp, full_roster,
+    progress, supervisor, tables, trajectory, tuning, ChaosWriter, FaultPlan, Progress,
+    SuiteConfig, Supervisor, SupervisorEvent, Table, TelemetryLog, TraceSink, TunedY,
 };
 
 fn main() -> ExitCode {
@@ -89,7 +104,6 @@ fn main() -> ExitCode {
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let parsed = cli::parse(args)?;
-    let config = parsed.config;
 
     // The CLI flag wins over the environment so a chaos run can be narrowed
     // from a shell that exports ANNEAL_FAULTS globally.
@@ -97,6 +111,14 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         Some(plan) => Some(plan),
         None => FaultPlan::from_env()?,
     };
+
+    if parsed.worker.is_some() {
+        return run_worker(&parsed, faults);
+    }
+    // From here on this is the supervising (or plain) process: wind down
+    // gracefully on SIGINT/SIGTERM instead of dying mid-WAL-record.
+    supervisor::signals::install();
+    let config = parsed.config;
 
     let resumed = match &parsed.resume {
         Some(path) => {
@@ -162,9 +184,45 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         .with_resume(resumed)
         .with_trace(trace)
         .with_progress(ticker);
+    let log = match parsed.isolation {
+        cli::Isolation::Thread => log,
+        cli::Isolation::Process => {
+            // Shards sit next to the WAL; without one they go to a
+            // per-process temp prefix (the records still flow into the
+            // in-memory log, which process isolation always needs).
+            let shard_base = parsed.telemetry.clone().unwrap_or_else(|| {
+                std::env::temp_dir()
+                    .join(format!("anneal-worker-{}.jsonl", std::process::id()))
+                    .to_string_lossy()
+                    .into_owned()
+            });
+            let sup = Supervisor::new(
+                &config,
+                faults.as_ref(),
+                parsed.trace.as_deref(),
+                parsed.heartbeat,
+                parsed.breaker_threshold,
+                shard_base,
+            )?;
+            let log = if log.is_enabled() {
+                log
+            } else {
+                TelemetryLog::in_memory()
+            };
+            log.with_supervisor(Some(Arc::new(sup)))
+        }
+    };
 
     for exp in &parsed.experiments {
+        if supervisor::signals::draining() {
+            break;
+        }
         for table in dispatch(exp, &config, &log)? {
+            if supervisor::signals::draining() {
+                // The table is partial (cells were skipped): printing it
+                // would look like a result.
+                break;
+            }
             if parsed.csv {
                 print!("{}", table.to_csv());
             } else {
@@ -174,6 +232,18 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     }
 
     log.finish_progress();
+    if let Some(sig) = supervisor::signals::shutdown_signal() {
+        log.log_event(SupervisorEvent::new(
+            "drain",
+            None,
+            format!("signal {sig}: drained in-flight work, WAL left resumable"),
+        ));
+        eprintln!(
+            "interrupted by signal {sig}: in-flight work drained, remaining cells skipped; \
+             re-run with --resume to finish"
+        );
+        return Ok(ExitCode::from(exit_codes::for_signal(sig)));
+    }
     if let Some(path) = &parsed.metrics {
         std::fs::write(path, anneal_core::metrics::global().snapshot_json())
             .map_err(|e| format!("cannot write metrics snapshot `{path}`: {e}"))?;
@@ -202,9 +272,71 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 eprintln!("{manifest}");
             }
         }
-        return Ok(ExitCode::from(2));
+        return Ok(ExitCode::from(exit_codes::DEGRADED));
     }
     Ok(ExitCode::SUCCESS)
+}
+
+/// The hidden `--worker-cell` mode: this process is a supervisor child.
+/// It runs exactly one table cell (the log's filter skips the others),
+/// appends the record to its WAL shard with the sequence number the
+/// parent dictated, and reports liveness as `{"hb":k}` lines on stdout.
+/// Exit code [`exit_codes::OK`] means "the cell's record is in the
+/// shard"; anything else is a retryable process failure.
+fn run_worker(parsed: &cli::Cli, faults: Option<FaultPlan>) -> Result<ExitCode, String> {
+    let worker = parsed.worker.as_ref().expect("worker mode");
+    let config = &parsed.config;
+    // The parent drains us deliberately; a Ctrl-C aimed at the group must
+    // not kill workers mid-record.
+    supervisor::signals::ignore();
+
+    let heartbeat = parsed.heartbeat;
+    std::thread::spawn(move || {
+        use std::io::Write;
+        let mut beats = 0u64;
+        loop {
+            let mut out = std::io::stdout();
+            if writeln!(out, "{{\"hb\":{beats}}}")
+                .and_then(|()| out.flush())
+                .is_err()
+            {
+                return; // parent gone; its deadline owns us now
+            }
+            beats += 1;
+            std::thread::sleep(heartbeat);
+        }
+    });
+
+    // Respawned workers roll fresh fault decisions: the supervisor folds
+    // this process attempt into every instance's attempt number.
+    let faults = faults.map(|plan| plan.with_attempt_base(worker.attempt));
+    let meta = checkpoint::WalMeta::new(config.seed, config.scale.divisor);
+    let writer = checkpoint::open_shard(&worker.shard, &meta)?;
+    let writer: Box<dyn std::io::Write + Send> = match &faults {
+        Some(plan) if plan.io_p > 0.0 => Box::new(ChaosWriter::new(writer, *plan)),
+        _ => writer,
+    };
+    let trace = match &parsed.trace {
+        Some(dir) => Some(TraceSink::new(dir, faults)?),
+        None => None,
+    };
+    let log = TelemetryLog::with_writer(writer)
+        .with_faults(faults)
+        .with_trace(trace)
+        .with_filter(Some(worker.cell.clone()))
+        .with_seq_start(worker.seq);
+
+    for exp in &parsed.experiments {
+        // The tables themselves are the parent's to print.
+        let _ = dispatch(exp, config, &log)?;
+    }
+
+    let recorded = log.records().iter().any(|r| r.key == worker.cell);
+    if recorded && log.write_errors() == 0 {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Ok(ExitCode::from(exit_codes::WORKER_NO_RECORD))
+    }
 }
 
 fn dispatch(exp: &str, config: &SuiteConfig, log: &TelemetryLog) -> Result<Vec<Table>, String> {

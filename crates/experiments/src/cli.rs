@@ -12,6 +12,8 @@ use anneal_core::{AdaptiveMode, Strategy, DEFAULT_EXCHANGE_INTERVAL};
 use crate::config::SuiteConfig;
 use crate::faults::FaultPlan;
 use crate::runner::RetryPolicy;
+use crate::supervisor;
+use crate::telemetry::CellKey;
 use crate::Scale;
 
 /// Every experiment name `repro` accepts, in `all` order.
@@ -35,13 +37,45 @@ pub const USAGE: &str = "usage: repro [--scale N] [--seed N] [--csv] [--threads 
      [--strategy NAME] [--schedule MODE] [--replicas K] [--exchange-interval N] \
      [--telemetry PATH] [--resume WAL] [--trace DIR] [--metrics PATH] \
      [--progress] [--faults SPEC] [--retries N] [--backoff-ms N] \
-     [--watchdog-ms N] <experiment>...";
+     [--watchdog-ms N] [--isolation thread|process] [--heartbeat-ms N] \
+     [--breaker-threshold N] <experiment>...";
 
 /// The `--strategy` spellings `repro` accepts.
 pub const STRATEGIES: [&str; 4] = ["figure1", "figure2", "rejectionless", "replica-exchange"];
 
 /// The `--schedule` spellings `repro` accepts.
 pub const SCHEDULES: [&str; 2] = ["adaptive", "asa"];
+
+/// The `--isolation` spellings `repro` accepts.
+pub const ISOLATIONS: [&str; 2] = ["thread", "process"];
+
+/// How table cells are isolated from each other's failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Isolation {
+    /// In-process: `catch_unwind` + watchdog (the historical behavior).
+    #[default]
+    Thread,
+    /// One child process per cell under the
+    /// [`Supervisor`](crate::supervisor::Supervisor): survives aborts,
+    /// OOM kills and true hangs.
+    Process,
+}
+
+/// The hidden `--worker-cell` mode: this invocation is a supervisor child
+/// running exactly one table cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerSpec {
+    /// The one cell this worker runs (everything else is skipped).
+    pub cell: CellKey,
+    /// WAL shard this worker appends its record to (`--worker-shard`).
+    pub shard: String,
+    /// Starting WAL sequence number (`--worker-seq`), aligning the shard
+    /// line bytes with the parent's main WAL.
+    pub seq: u64,
+    /// Fault-injection attempt base (`--worker-attempt`), so respawned
+    /// workers roll fresh fault decisions.
+    pub attempt: u32,
+}
 
 /// Parsed `repro` invocation.
 #[derive(Debug)]
@@ -64,6 +98,17 @@ pub struct Cli {
     /// variable is merged in by the binary, not here, so parsing stays
     /// pure).
     pub faults: Option<FaultPlan>,
+    /// Cell isolation model (`--isolation`, default thread).
+    pub isolation: Isolation,
+    /// Worker heartbeat interval under process isolation
+    /// (`--heartbeat-ms`, default 250).
+    pub heartbeat: Duration,
+    /// Consecutive hard process failures per table before its circuit
+    /// breaker opens (`--breaker-threshold`, default 3).
+    pub breaker_threshold: u32,
+    /// Hidden worker mode (`--worker-cell` et al.), set only when this
+    /// process is a supervisor child.
+    pub worker: Option<WorkerSpec>,
     /// Experiments to run, `all` already expanded.
     pub experiments: Vec<String>,
 }
@@ -78,6 +123,17 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
     let mut metrics: Option<String> = None;
     let mut progress = false;
     let mut faults: Option<FaultPlan> = None;
+    let mut isolation = Isolation::default();
+    let mut isolation_set = false;
+    let mut heartbeat = supervisor::DEFAULT_HEARTBEAT;
+    let mut heartbeat_set = false;
+    let mut breaker_threshold = supervisor::DEFAULT_BREAKER_THRESHOLD;
+    let mut breaker_set = false;
+    let mut worker_cell: Option<CellKey> = None;
+    let mut worker_shard: Option<String> = None;
+    let mut worker_seq: Option<u64> = None;
+    let mut worker_attempt: u32 = 0;
+    let mut worker_attempt_set = false;
     let mut retries: u32 = 1;
     let mut backoff = Duration::from_millis(100);
     let mut strategy_name: Option<String> = None;
@@ -179,6 +235,70 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
             "--trace" => trace = Some(value_of("--trace")?.clone()),
             "--metrics" => metrics = Some(value_of("--metrics")?.clone()),
             "--faults" => faults = Some(FaultPlan::parse(value_of("--faults")?)?),
+            "--isolation" => {
+                let v = value_of("--isolation")?;
+                isolation = match v.as_str() {
+                    "thread" => Isolation::Thread,
+                    "process" => Isolation::Process,
+                    other => {
+                        return Err(format!(
+                            "unknown --isolation `{other}` (one of: {})",
+                            ISOLATIONS.join(", ")
+                        ));
+                    }
+                };
+                isolation_set = true;
+            }
+            "--heartbeat-ms" => {
+                let v = value_of("--heartbeat-ms")?;
+                let ms: u64 = v
+                    .parse()
+                    .map_err(|_| format!("bad --heartbeat-ms value `{v}`"))?;
+                if ms == 0 {
+                    return Err("--heartbeat-ms must be positive".into());
+                }
+                heartbeat = Duration::from_millis(ms);
+                heartbeat_set = true;
+            }
+            "--breaker-threshold" => {
+                let v = value_of("--breaker-threshold")?;
+                let n: u32 = v
+                    .parse()
+                    .map_err(|_| format!("bad --breaker-threshold value `{v}`"))?;
+                if n == 0 {
+                    return Err(
+                        "--breaker-threshold must be positive (1 = trip on first failure)".into(),
+                    );
+                }
+                breaker_threshold = n;
+                breaker_set = true;
+            }
+            "--worker-cell" => {
+                let v = value_of("--worker-cell")?;
+                let fields: Vec<&str> = v.split(supervisor::CELL_FIELD_SEP).collect();
+                let [table, method, column] = fields.as_slice() else {
+                    return Err(format!(
+                        "bad --worker-cell value `{}` (expected table\\x1fmethod\\x1fcolumn)",
+                        v.escape_debug()
+                    ));
+                };
+                worker_cell = Some(CellKey::new(*table, *method, *column));
+            }
+            "--worker-shard" => worker_shard = Some(value_of("--worker-shard")?.clone()),
+            "--worker-seq" => {
+                let v = value_of("--worker-seq")?;
+                worker_seq = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad --worker-seq value `{v}`"))?,
+                );
+            }
+            "--worker-attempt" => {
+                let v = value_of("--worker-attempt")?;
+                worker_attempt = v
+                    .parse()
+                    .map_err(|_| format!("bad --worker-attempt value `{v}`"))?;
+                worker_attempt_set = true;
+            }
             "--csv" => csv = true,
             "--progress" => progress = true,
             other if other.starts_with('-') => {
@@ -219,6 +339,37 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
         config = config.with_replicas(k);
     }
 
+    let worker = match worker_cell {
+        None => {
+            if worker_shard.is_some() || worker_seq.is_some() || worker_attempt_set {
+                return Err(
+                    "--worker-shard, --worker-seq and --worker-attempt require --worker-cell"
+                        .into(),
+                );
+            }
+            None
+        }
+        Some(cell) => {
+            if isolation_set && isolation == Isolation::Process {
+                return Err("--worker-cell is itself a worker: it cannot use \
+                     --isolation process"
+                    .into());
+            }
+            let Some(shard) = worker_shard else {
+                return Err("--worker-cell requires --worker-shard".into());
+            };
+            Some(WorkerSpec {
+                cell,
+                shard,
+                seq: worker_seq.unwrap_or(0),
+                attempt: worker_attempt,
+            })
+        }
+    };
+    if (heartbeat_set || breaker_set) && isolation != Isolation::Process && worker.is_none() {
+        return Err("--heartbeat-ms and --breaker-threshold require --isolation process".into());
+    }
+
     if experiments.is_empty() {
         return Err("no experiment given".into());
     }
@@ -240,6 +391,10 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
         metrics,
         progress,
         faults,
+        isolation,
+        heartbeat,
+        breaker_threshold,
+        worker,
         experiments,
     })
 }
@@ -391,6 +546,98 @@ mod tests {
         assert!(parse(&args("--schedule"))
             .unwrap_err()
             .contains("needs a value"));
+    }
+
+    #[test]
+    fn isolation_flags_parse_with_defaults() {
+        let cli = parse(&args("table4.1")).unwrap();
+        assert_eq!(cli.isolation, Isolation::Thread);
+        assert_eq!(cli.heartbeat, supervisor::DEFAULT_HEARTBEAT);
+        assert_eq!(cli.breaker_threshold, supervisor::DEFAULT_BREAKER_THRESHOLD);
+        assert!(cli.worker.is_none());
+
+        let cli = parse(&args(
+            "--isolation process --heartbeat-ms 100 --breaker-threshold 2 table4.1",
+        ))
+        .unwrap();
+        assert_eq!(cli.isolation, Isolation::Process);
+        assert_eq!(cli.heartbeat, Duration::from_millis(100));
+        assert_eq!(cli.breaker_threshold, 2);
+
+        let cli = parse(&args("--isolation thread table4.1")).unwrap();
+        assert_eq!(cli.isolation, Isolation::Thread);
+    }
+
+    #[test]
+    fn isolation_flag_misuse_is_rejected() {
+        let err = parse(&args("--isolation container table4.1")).unwrap_err();
+        assert!(err.contains("unknown --isolation"), "{err}");
+        assert!(err.contains("thread, process"), "{err}");
+        let err = parse(&args("--isolation process --heartbeat-ms 0 table4.1")).unwrap_err();
+        assert!(err.contains("--heartbeat-ms must be positive"), "{err}");
+        let err = parse(&args("--isolation process --breaker-threshold 0 table4.1")).unwrap_err();
+        assert!(
+            err.contains("--breaker-threshold must be positive"),
+            "{err}"
+        );
+        // The supervisor tuning flags are meaningless without a supervisor.
+        let err = parse(&args("--heartbeat-ms 100 table4.1")).unwrap_err();
+        assert!(err.contains("require --isolation process"), "{err}");
+        let err = parse(&args("--breaker-threshold 2 table4.1")).unwrap_err();
+        assert!(err.contains("require --isolation process"), "{err}");
+    }
+
+    #[test]
+    fn worker_mode_parses_its_hidden_flags() {
+        let sep = supervisor::CELL_FIELD_SEP;
+        let argv: Vec<String> = [
+            "--worker-cell".into(),
+            format!("table4.1{sep}g = 1{sep}6 sec"),
+            "--worker-shard".into(),
+            "wal.jsonl.shard.0".into(),
+            "--worker-seq".into(),
+            "12".into(),
+            "--worker-attempt".into(),
+            "3".into(),
+            "--heartbeat-ms".into(),
+            "50".into(),
+            "table4.1".into(),
+        ]
+        .to_vec();
+        let cli = parse(&argv).unwrap();
+        let worker = cli.worker.unwrap();
+        assert_eq!(worker.cell, CellKey::new("table4.1", "g = 1", "6 sec"));
+        assert_eq!(worker.shard, "wal.jsonl.shard.0");
+        assert_eq!(worker.seq, 12);
+        assert_eq!(worker.attempt, 3);
+        assert_eq!(cli.heartbeat, Duration::from_millis(50));
+    }
+
+    #[test]
+    fn worker_flag_misuse_is_rejected() {
+        let err = parse(&args("--worker-shard s.0 table4.1")).unwrap_err();
+        assert!(err.contains("require --worker-cell"), "{err}");
+        let err = parse(&args("--worker-seq 3 table4.1")).unwrap_err();
+        assert!(err.contains("require --worker-cell"), "{err}");
+        let err = parse(&args("--worker-cell bad-cell table4.1")).unwrap_err();
+        assert!(err.contains("bad --worker-cell value"), "{err}");
+        let sep = supervisor::CELL_FIELD_SEP;
+        let cell = format!("t{sep}m{sep}c");
+        let argv: Vec<String> = ["--worker-cell".into(), cell.clone(), "table4.1".into()].to_vec();
+        let err = parse(&argv).unwrap_err();
+        assert!(err.contains("requires --worker-shard"), "{err}");
+        let argv: Vec<String> = [
+            "--worker-cell".into(),
+            cell,
+            "--worker-shard".into(),
+            "s.0".into(),
+            "--isolation".into(),
+            "process".into(),
+            "table4.1".into(),
+        ]
+        .to_vec();
+        let err = parse(&argv).unwrap_err();
+        assert!(err.contains("cannot use"), "{err}");
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! `--faults` CLI flag or the `ANNEAL_FAULTS` environment variable:
 //!
 //! ```text
-//! seed=7,panic=0.25,io=0.1,delay=0.5,delay_ms=200
+//! seed=7,panic=0.25,io=0.1,delay=0.5,delay_ms=200,abort=0.01,hang=0.01,oom=0.01
 //! ```
 //!
 //! | key | meaning | default |
@@ -20,11 +20,20 @@
 //! | `io` | probability a telemetry sink write fails | 0 |
 //! | `delay` | probability an instance run is slowed before it starts | 0 |
 //! | `delay_ms` | slowdown length in milliseconds | 100 |
+//! | `abort` | probability an instance run calls `std::process::abort()` | 0 |
+//! | `hang` | probability an instance run hangs without polling its budget | 0 |
+//! | `hang_ms` | hang length in milliseconds | 60000 |
+//! | `oom` | probability an instance run allocates until a cap, then aborts | 0 |
+//! | `oom_mb` | allocation cap in MiB for `oom` faults | 256 |
 //!
 //! Each fault path exercises a distinct containment mechanism: `panic` the
 //! `catch_unwind` isolation in the runner, `io` the telemetry
 //! write-error accounting, and `delay` (together with `--watchdog-ms`) the
-//! [`anneal_core::watchdog`] deadline.
+//! [`anneal_core::watchdog`] deadline. The process-fatal kinds target the
+//! [`supervisor`](crate::supervisor): `abort` and `oom` kill the worker
+//! process outright (`catch_unwind` cannot contain them), and `hang` sleeps
+//! without ever polling a `Meter`, which the in-process watchdog cannot
+//! interrupt — only the supervisor's wall-clock SIGKILL can.
 
 use std::io::{self, Write};
 use std::time::Duration;
@@ -47,6 +56,24 @@ pub struct FaultPlan {
     pub delay_p: f64,
     /// Injected delay length.
     pub delay: Duration,
+    /// Probability an instance run aborts the whole process.
+    pub abort_p: f64,
+    /// Probability an instance run hangs without polling its budget.
+    pub hang_p: f64,
+    /// Injected hang length (bounded so a run without a supervisor still
+    /// terminates eventually).
+    pub hang: Duration,
+    /// Probability an instance run allocates up to [`oom_mb`](Self::oom_mb)
+    /// MiB and then aborts (a safe stand-in for an OOM kill).
+    pub oom_p: f64,
+    /// Allocation cap for `oom` faults, in MiB.
+    pub oom_mb: usize,
+    /// Attempt-number offset folded into every decision. The supervisor
+    /// sets this (via the hidden `--worker-attempt` flag) when it re-spawns
+    /// a worker after a process death, so fault decisions roll
+    /// independently across process-level retries exactly as they do
+    /// across in-process retries — deterministically either way.
+    pub attempt_base: u32,
 }
 
 /// What a [`FaultPlan`] injects into one instance run attempt.
@@ -56,6 +83,20 @@ pub struct InstanceFault {
     pub panic: bool,
     /// Sleep this long before the strategy step (watchdog fodder).
     pub delay: Option<Duration>,
+    /// Abort the whole process at the start of the strategy step.
+    pub abort: bool,
+    /// Hang this long without polling the budget (supervisor fodder).
+    pub hang: Option<Duration>,
+    /// Allocate up to this many MiB, then abort.
+    pub oom: Option<usize>,
+}
+
+impl InstanceFault {
+    /// Whether this fault kills or wedges the whole process (rather than
+    /// just failing the instance).
+    pub fn process_fatal(&self) -> bool {
+        self.abort || self.oom.is_some()
+    }
 }
 
 impl Default for FaultPlan {
@@ -67,6 +108,12 @@ impl Default for FaultPlan {
             io_p: 0.0,
             delay_p: 0.0,
             delay: Duration::from_millis(100),
+            abort_p: 0.0,
+            hang_p: 0.0,
+            hang: Duration::from_millis(60_000),
+            oom_p: 0.0,
+            oom_mb: 256,
+            attempt_base: 0,
         }
     }
 }
@@ -104,10 +151,50 @@ impl FaultPlan {
                         .map_err(|_| format!("bad delay_ms `{value}`"))?;
                     plan.delay = Duration::from_millis(ms);
                 }
+                "abort" => plan.abort_p = prob(value)?,
+                "hang" => plan.hang_p = prob(value)?,
+                "hang_ms" => {
+                    let ms: u64 = value
+                        .parse()
+                        .map_err(|_| format!("bad hang_ms `{value}`"))?;
+                    plan.hang = Duration::from_millis(ms);
+                }
+                "oom" => plan.oom_p = prob(value)?,
+                "oom_mb" => {
+                    plan.oom_mb = value.parse().map_err(|_| format!("bad oom_mb `{value}`"))?;
+                }
                 other => return Err(format!("unknown fault key `{other}`")),
             }
         }
         Ok(plan)
+    }
+
+    /// The plan as a `key=value,...` spec that [`parse`](Self::parse)
+    /// round-trips (used by the supervisor to forward its plan to worker
+    /// processes). `attempt_base` is intentionally not part of the spec —
+    /// it travels on the hidden `--worker-attempt` flag instead.
+    pub fn to_spec(&self) -> String {
+        format!(
+            "seed={},panic={},io={},delay={},delay_ms={},abort={},hang={},hang_ms={},\
+             oom={},oom_mb={}",
+            self.seed,
+            self.panic_p,
+            self.io_p,
+            self.delay_p,
+            self.delay.as_millis(),
+            self.abort_p,
+            self.hang_p,
+            self.hang.as_millis(),
+            self.oom_p,
+            self.oom_mb
+        )
+    }
+
+    /// The same plan with `base` folded into every attempt number (see
+    /// [`attempt_base`](Self::attempt_base)).
+    pub fn with_attempt_base(mut self, base: u32) -> Self {
+        self.attempt_base = base;
+        self
     }
 
     /// The plan from the `ANNEAL_FAULTS` environment variable, if set.
@@ -120,7 +207,12 @@ impl FaultPlan {
 
     /// Whether this plan can inject anything at all.
     pub fn is_active(&self) -> bool {
-        self.panic_p > 0.0 || self.io_p > 0.0 || self.delay_p > 0.0
+        self.panic_p > 0.0
+            || self.io_p > 0.0
+            || self.delay_p > 0.0
+            || self.abort_p > 0.0
+            || self.hang_p > 0.0
+            || self.oom_p > 0.0
     }
 
     /// The faults (if any) for one `(cell, instance, attempt)` run. Pure:
@@ -128,6 +220,7 @@ impl FaultPlan {
     /// attempts roll independently — which is what lets retry-with-backoff
     /// recover from sub-certain fault probabilities.
     pub fn instance_fault(&self, key: &CellKey, instance: usize, attempt: u32) -> InstanceFault {
+        let attempt = attempt.wrapping_add(self.attempt_base);
         let site = |label: &str| {
             let mut h = mix(self.seed, hash_str(label));
             h = mix(h, hash_str(&key.table));
@@ -139,6 +232,9 @@ impl FaultPlan {
         InstanceFault {
             panic: decide(site("panic"), self.panic_p),
             delay: decide(site("delay"), self.delay_p).then_some(self.delay),
+            abort: decide(site("abort"), self.abort_p),
+            hang: decide(site("hang"), self.hang_p).then_some(self.hang),
+            oom: decide(site("oom"), self.oom_p).then_some(self.oom_mb),
         }
     }
 
@@ -174,6 +270,27 @@ fn decide(hash: u64, p: f64) -> bool {
         return true;
     }
     ((hash >> 11) as f64 / (1u64 << 53) as f64) < p
+}
+
+/// Carries out an injected OOM: allocates touched memory up to `cap_mb`
+/// MiB, then aborts the process — a contained, deterministic stand-in for a
+/// runaway allocation that the kernel would OOM-kill. Never returns.
+pub(crate) fn simulate_oom(cap_mb: usize, instance: usize) -> ! {
+    eprintln!("fault injection: simulated OOM (instance {instance}, cap {cap_mb} MiB); aborting");
+    let cap = cap_mb.saturating_mul(1024 * 1024);
+    let mut hoard: Vec<Vec<u8>> = Vec::new();
+    let mut total = 0usize;
+    while total < cap {
+        let len = (16 * 1024 * 1024).min(cap - total);
+        let mut block = vec![0u8; len];
+        // Touch one byte per page so the pages are actually committed.
+        for i in (0..block.len()).step_by(4096) {
+            block[i] = 1;
+        }
+        total += block.len();
+        hoard.push(block);
+    }
+    std::process::abort();
 }
 
 /// A telemetry sink wrapper that fails writes according to a [`FaultPlan`]
@@ -296,6 +413,56 @@ mod tests {
         let a = run();
         assert_eq!(a, run());
         assert!(a.iter().any(|&ok| ok) && a.iter().any(|&ok| !ok));
+    }
+
+    #[test]
+    fn process_fatal_kinds_parse_and_round_trip_as_a_spec() {
+        let plan =
+            FaultPlan::parse("seed=5,abort=0.25,hang=0.5,hang_ms=1234,oom=0.125,oom_mb=8").unwrap();
+        assert_eq!(plan.abort_p, 0.25);
+        assert_eq!(plan.hang_p, 0.5);
+        assert_eq!(plan.hang, Duration::from_millis(1234));
+        assert_eq!(plan.oom_p, 0.125);
+        assert_eq!(plan.oom_mb, 8);
+        assert!(plan.is_active());
+        assert_eq!(FaultPlan::parse(&plan.to_spec()).unwrap(), plan);
+        assert!(FaultPlan::parse("abort=2").is_err());
+        assert!(FaultPlan::parse("hang_ms=abc").is_err());
+        assert!(FaultPlan::parse("oom_mb=-1").is_err());
+    }
+
+    #[test]
+    fn certain_process_fatal_faults_fire() {
+        let plan = FaultPlan::parse("abort=1,hang=1,hang_ms=7,oom=1,oom_mb=4").unwrap();
+        let f = plan.instance_fault(&key(), 0, 0);
+        assert!(f.abort);
+        assert_eq!(f.hang, Some(Duration::from_millis(7)));
+        assert_eq!(f.oom, Some(4));
+        assert!(f.process_fatal());
+        assert!(!InstanceFault::default().process_fatal());
+    }
+
+    #[test]
+    fn attempt_base_shifts_decisions_like_real_attempts() {
+        let plan = FaultPlan::parse("seed=3,abort=0.5").unwrap();
+        let direct: Vec<bool> = (0..32)
+            .map(|a| plan.instance_fault(&key(), 0, a).abort)
+            .collect();
+        let offset: Vec<bool> = (0..22)
+            .map(|a| {
+                plan.with_attempt_base(10)
+                    .instance_fault(&key(), 0, a)
+                    .abort
+            })
+            .collect();
+        // A worker re-spawned at attempt base 10 rolls the same decisions a
+        // single process would have rolled at attempts 10, 11, ...
+        assert_eq!(direct[10..], offset[..]);
+        assert_ne!(
+            direct[..22],
+            offset[..],
+            "the base actually shifts the stream"
+        );
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub mod checkpoint;
 pub mod cli;
 mod config;
 pub mod diagnostics;
+pub mod exit_codes;
 pub mod ext_partition;
 pub mod ext_tsp;
 pub mod faults;
@@ -50,6 +51,7 @@ pub mod reporting;
 mod roster;
 mod runner;
 pub mod scheduler;
+pub mod supervisor;
 mod table;
 pub mod tables;
 pub mod telemetry;
@@ -69,6 +71,9 @@ pub use roster::{
     full_roster, reduced_roster, replica_exchange_roster, MethodCtx, MethodSpec, TunedY,
 };
 pub use runner::{ArrangementSet, CellPolicy, RetryPolicy};
+pub use supervisor::Supervisor;
 pub use table::Table;
-pub use telemetry::{CellFailure, CellKey, CellRecord, FailedCell, SuiteSummary, TelemetryLog};
+pub use telemetry::{
+    CellFailure, CellKey, CellRecord, FailedCell, SuiteSummary, SupervisorEvent, TelemetryLog,
+};
 pub use trace::{CellTrace, TraceEvent, TraceMeta, TraceSink};

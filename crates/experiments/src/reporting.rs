@@ -153,8 +153,44 @@ pub fn render_report(cp: &Checkpoint, traces: &[CellTrace]) -> String {
         time_section(&mut out, &table_traces);
         energy_section(&mut out, &table_traces);
     }
+    supervisor_section(&mut out, cp);
     failures_section(&mut out, &cp.cells);
     out
+}
+
+/// Process-supervision history: worker restarts, circuit-breaker trips and
+/// signal drains. Pre-v4 WALs predate supervisor events, so the section
+/// honestly reports `n/a` instead of implying a clean supervised run.
+fn supervisor_section(out: &mut String, cp: &Checkpoint) {
+    out.push_str("## Supervisor events\n\n");
+    let pre_v4 = cp.meta.as_ref().is_some_and(|m| m.version < 4);
+    if pre_v4 {
+        out.push_str("n/a — this WAL predates supervisor events (v4).\n\n");
+        return;
+    }
+    if cp.events.is_empty() {
+        out.push_str("None: no worker restarts, breaker trips or signal drains.\n\n");
+        return;
+    }
+    let count = |kind: &str| cp.events.iter().filter(|e| e.kind == kind).count();
+    let _ = writeln!(
+        out,
+        "{} worker restart(s), {} breaker trip(s), {} signal drain(s).\n",
+        count("restart"),
+        count("breaker"),
+        count("drain")
+    );
+    for event in &cp.events {
+        match &event.cell {
+            Some(cell) => {
+                let _ = writeln!(out, "- {} `{}` — {}", event.kind, cell, event.detail);
+            }
+            None => {
+                let _ = writeln!(out, "- {} — {}", event.kind, event.detail);
+            }
+        }
+    }
+    out.push('\n');
 }
 
 fn overview(out: &mut String, cp: &Checkpoint) {
@@ -647,6 +683,7 @@ mod tests {
         Checkpoint {
             meta: None,
             cells,
+            events: Vec::new(),
             torn: false,
         }
     }
@@ -739,6 +776,52 @@ mod tests {
         assert!(report.contains("| t0 | 3.5 | 100.0% |"), "{report}");
         assert!(report.contains("### Energy trajectories"), "{report}");
         assert!(report.contains("100 → 60"), "{report}");
+    }
+
+    #[test]
+    fn supervisor_section_counts_events() {
+        use crate::telemetry::SupervisorEvent;
+        let mut cp = checkpoint(vec![cell("table4.1", "g = 1", "6 sec", 2000.0)]);
+        cp.events = vec![
+            SupervisorEvent::new(
+                "restart",
+                Some(CellKey::new("table4.1", "g = 1", "6 sec")),
+                "attempt 2: worker died on signal 6".to_string(),
+            ),
+            SupervisorEvent::new("drain", None, "signal 15".to_string()),
+        ];
+        let report = render_report(&cp, &[]);
+        assert!(report.contains("## Supervisor events"), "{report}");
+        assert!(
+            report.contains("1 worker restart(s), 0 breaker trip(s), 1 signal drain(s)."),
+            "{report}"
+        );
+        assert!(
+            report.contains("- restart `table4.1 / g = 1 / 6 sec` — attempt 2"),
+            "{report}"
+        );
+        assert!(report.contains("- drain — signal 15"), "{report}");
+    }
+
+    #[test]
+    fn supervisor_section_is_na_for_pre_v4_wals_and_none_when_quiet() {
+        use crate::checkpoint::WalMeta;
+        let mut cp = checkpoint(vec![cell("table4.1", "g = 1", "6 sec", 2000.0)]);
+        let mut meta = WalMeta::new(1985, 1);
+        meta.version = 3;
+        cp.meta = Some(meta);
+        let report = render_report(&cp, &[]);
+        assert!(
+            report.contains("n/a — this WAL predates supervisor events"),
+            "{report}"
+        );
+
+        cp.meta = Some(WalMeta::new(1985, 1));
+        let report = render_report(&cp, &[]);
+        assert!(
+            report.contains("None: no worker restarts, breaker trips or signal drains."),
+            "{report}"
+        );
     }
 
     #[test]

@@ -72,8 +72,9 @@ impl RetryPolicy {
     }
 
     /// The backoff before retry number `retry` (1-based), doubling each
-    /// time.
-    fn delay_before(&self, retry: u32) -> Duration {
+    /// time. Shared with the [`supervisor`](crate::supervisor), whose
+    /// process respawns back off on exactly the same curve.
+    pub(crate) fn delay_before(&self, retry: u32) -> Duration {
         self.backoff * 2u32.pow(retry.saturating_sub(1).min(8))
     }
 }
@@ -306,12 +307,32 @@ impl ArrangementSet {
         log: &TelemetryLog,
     ) -> f64 {
         assert!(policy.threads > 0, "need at least one thread");
+        // A worker process runs exactly one cell: its log filter skips
+        // every other one. A draining parent stops starting cells: the
+        // skipped cells are simply absent from the WAL and re-run on
+        // `--resume`.
+        if log.skips(&key) || crate::supervisor::signals::draining() {
+            return 0.0;
+        }
         let strategy_name = format!("{strategy:?}");
         if let Some(cached) = log.replay(&key, &strategy_name, &budget.to_string(), self.seed) {
             metrics::global().counter("runner.cells_replayed").inc();
             let total = cached.reduction;
             log.record_replayed(cached);
             return total;
+        }
+        // Under `--isolation process` the cell runs in a child process;
+        // the supervisor records the outcome (or the process failure)
+        // into `log` exactly as the code below would.
+        if let Some(sup) = log.supervisor() {
+            return sup.run_cell(
+                &key,
+                &strategy_name,
+                budget,
+                policy,
+                self.problems.len(),
+                log,
+            );
         }
         metrics::global().counter("runner.cells").inc();
 
@@ -458,6 +479,21 @@ impl ArrangementSet {
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             if let Some(delay) = fault.delay {
                 std::thread::sleep(delay);
+            }
+            if let Some(hang) = fault.hang {
+                // A wedge the in-process watchdog cannot catch: the
+                // deadline is only observed when the chain polls its
+                // budget, and a sleeping thread never does. Only the
+                // supervisor's wall-clock SIGKILL bounds this (the sleep
+                // itself is capped so un-supervised chaos runs still end).
+                std::thread::sleep(hang);
+            }
+            if fault.abort {
+                eprintln!("fault injection: forced abort (instance {idx})");
+                std::process::abort();
+            }
+            if let Some(cap_mb) = fault.oom {
+                crate::faults::simulate_oom(cap_mb, idx);
             }
             if fault.panic {
                 panic!("fault injection: forced panic (instance {idx})");

@@ -16,7 +16,7 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::io::Write;
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use anneal_core::{AdvanceReason, Budget, RunTelemetry};
 
@@ -372,6 +372,55 @@ impl CellRecord {
     }
 }
 
+/// One supervisor lifecycle event, recorded in the WAL (schema v4) so
+/// `report` can reconstruct what the process supervisor did: worker
+/// restarts after abnormal exits, circuit-breaker trips, and graceful
+/// signal drains.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SupervisorEvent {
+    /// Event kind: `"restart"`, `"breaker"` or `"drain"`.
+    pub kind: String,
+    /// The cell the event concerns, when it concerns one.
+    pub cell: Option<CellKey>,
+    /// Human-readable detail (exit status, signal name, ...).
+    pub detail: String,
+}
+
+impl SupervisorEvent {
+    /// An event of `kind` about `cell` (optional) with `detail`.
+    pub fn new(kind: impl Into<String>, cell: Option<CellKey>, detail: impl Into<String>) -> Self {
+        SupervisorEvent {
+            kind: kind.into(),
+            cell,
+            detail: detail.into(),
+        }
+    }
+
+    /// The event as one JSON object (no trailing newline). The `"sup"` key
+    /// distinguishes event lines from cell-record lines in the WAL.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(96);
+        s.push('{');
+        push_str_field(&mut s, "sup", &self.kind);
+        if let Some(cell) = &self.cell {
+            push_str_field(&mut s, "table", &cell.table);
+            push_str_field(&mut s, "method", &cell.method);
+            push_str_field(&mut s, "column", &cell.column);
+        }
+        s.push_str(&format!("\"detail\":\"{}\"}}", escape_json(&self.detail)));
+        s
+    }
+}
+
+impl fmt::Display for SupervisorEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.cell {
+            Some(cell) => write!(f, "{}: {} — {}", self.kind, cell, self.detail),
+            None => write!(f, "{}: {}", self.kind, self.detail),
+        }
+    }
+}
+
 fn push_str_field(s: &mut String, key: &str, value: &str) {
     s.push_str(&format!("\"{}\":\"{}\",", key, escape_json(value)));
 }
@@ -423,6 +472,13 @@ pub struct TelemetryLog {
     resume: HashMap<CellKey, CellRecord>,
     trace: Option<TraceSink>,
     progress: Option<Progress>,
+    /// Hidden `--worker-cell` filter: when set, the runner executes only
+    /// this cell and skips every other one without running or recording it.
+    filter: Option<CellKey>,
+    /// Process supervisor (`--isolation process`): when attached, the
+    /// runner delegates each cell to a worker process instead of running
+    /// it in-process.
+    supervisor: Option<Arc<crate::supervisor::Supervisor>>,
 }
 
 struct Inner {
@@ -432,6 +488,10 @@ struct Inner {
     lost: Vec<CellKey>,
     /// Cells replayed from a resume cache instead of re-run.
     replayed: usize,
+    /// WAL sequence number of the next record line (schema v4).
+    next_seq: u64,
+    /// Supervisor lifecycle events logged so far.
+    events: Vec<SupervisorEvent>,
 }
 
 impl fmt::Debug for TelemetryLog {
@@ -451,11 +511,15 @@ impl TelemetryLog {
                 writer,
                 lost: Vec::new(),
                 replayed: 0,
+                next_seq: 0,
+                events: Vec::new(),
             }),
             faults: None,
             resume: HashMap::new(),
             trace: None,
             progress: None,
+            filter: None,
+            supervisor: None,
         }
     }
 
@@ -506,6 +570,47 @@ impl TelemetryLog {
     pub fn with_progress(mut self, progress: Option<Progress>) -> Self {
         self.progress = progress;
         self
+    }
+
+    /// Restricts the runner to a single cell (builder style): every other
+    /// cell is skipped without running or recording. Used by the hidden
+    /// `--worker-cell` mode. `None` clears the filter.
+    pub fn with_filter(mut self, cell: Option<CellKey>) -> Self {
+        self.filter = cell;
+        self
+    }
+
+    /// Attaches a process supervisor (builder style): the runner delegates
+    /// each cell to a re-exec'd worker process. `None` clears it.
+    pub fn with_supervisor(
+        mut self,
+        supervisor: Option<Arc<crate::supervisor::Supervisor>>,
+    ) -> Self {
+        self.supervisor = supervisor;
+        self
+    }
+
+    /// Starts the WAL sequence counter at `seq` (builder style), so a
+    /// worker's shard lines carry the same sequence numbers the parent's
+    /// main WAL will assign when it absorbs them.
+    pub fn with_seq_start(self, seq: u64) -> Self {
+        self.lock().next_seq = seq;
+        self
+    }
+
+    /// The attached process supervisor, if any.
+    pub(crate) fn supervisor(&self) -> Option<Arc<crate::supervisor::Supervisor>> {
+        self.supervisor.clone()
+    }
+
+    /// Whether the single-cell filter excludes `key`.
+    pub(crate) fn skips(&self, key: &CellKey) -> bool {
+        self.filter.as_ref().is_some_and(|f| f != key)
+    }
+
+    /// The sequence number the next recorded cell will be assigned.
+    pub(crate) fn peek_seq(&self) -> u64 {
+        self.lock().next_seq
     }
 
     /// The chain-trace sink, if tracing is on.
@@ -570,12 +675,17 @@ impl TelemetryLog {
             p.cell_done(record.ok(), record.attempts);
         }
         let mut inner = self.lock();
+        // Every record consumes one sequence number, whether or not a
+        // writer is attached — the supervisor peeks this counter to align
+        // a worker shard's numbering with the parent WAL.
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
         if let Some(w) = inner.writer.as_mut() {
             // Telemetry must never take down the run it is observing:
             // count write errors (the suite exits nonzero when any record
             // was lost) but keep going. The line goes out in one write so
             // a crash tears at most the final record.
-            let mut line = record.to_json();
+            let mut line = crate::checkpoint::wal_line(&record.to_json(), seq);
             line.push('\n');
             if let Err(e) = w.write_all(line.as_bytes()).and_then(|()| w.flush()) {
                 eprintln!("telemetry: write failed for cell {}: {e}", record.key);
@@ -584,6 +694,30 @@ impl TelemetryLog {
             }
         }
         inner.records.push(record);
+    }
+
+    /// Records one supervisor lifecycle event. Event lines share the WAL
+    /// but do not consume sequence numbers (only cell records do), so the
+    /// parent/worker sequence alignment is untouched. A write error is
+    /// reported but not counted against the suite — events are advisory.
+    pub fn log_event(&self, event: SupervisorEvent) {
+        if !self.enabled {
+            return;
+        }
+        let mut inner = self.lock();
+        if let Some(w) = inner.writer.as_mut() {
+            let mut line = event.to_json();
+            line.push('\n');
+            if let Err(e) = w.write_all(line.as_bytes()).and_then(|()| w.flush()) {
+                eprintln!("telemetry: write failed for supervisor event: {e}");
+            }
+        }
+        inner.events.push(event);
+    }
+
+    /// Snapshot of every supervisor event so far.
+    pub fn events(&self) -> Vec<SupervisorEvent> {
+        self.lock().events.clone()
     }
 
     /// [`record`](Self::record) for a cell replayed from the resume cache,
@@ -631,6 +765,7 @@ impl TelemetryLog {
             slowest,
             lost: inner.lost.clone(),
             replayed: inner.replayed,
+            events: inner.events.clone(),
         }
     }
 }
@@ -664,6 +799,9 @@ pub struct SuiteSummary {
     pub lost: Vec<CellKey>,
     /// Cells replayed from a `--resume` WAL instead of re-run.
     pub replayed: usize,
+    /// Supervisor lifecycle events (worker restarts, breaker trips,
+    /// signal drains). Empty for in-process runs.
+    pub events: Vec<SupervisorEvent>,
 }
 
 impl SuiteSummary {
@@ -742,6 +880,16 @@ impl fmt::Display for SuiteSummary {
         )?;
         if self.replayed > 0 {
             writeln!(f, "resumed: {} cells replayed from the WAL", self.replayed)?;
+        }
+        if !self.events.is_empty() {
+            let count = |k: &str| self.events.iter().filter(|e| e.kind == k).count();
+            writeln!(
+                f,
+                "supervisor: {} worker restarts, {} breaker trips, {} signal drains",
+                count("restart"),
+                count("breaker"),
+                count("drain")
+            )?;
         }
         if !self.slowest.is_empty() {
             writeln!(f, "slowest cells:")?;
