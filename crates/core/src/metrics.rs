@@ -1,21 +1,34 @@
-//! Process-wide metrics: atomic counters and log-linear histograms,
-//! snapshotable as JSON.
+//! Process-wide metrics: atomic counters, gauges and log-linear
+//! histograms, snapshotable as JSON or Prometheus text exposition.
 //!
-//! A [`Registry`] hands out named [`Counter`]s and [`Histogram`]s; both are
-//! lock-free to update (a handful of atomic operations), so they are safe to
-//! touch from the experiment harness's worker threads. [`global()`]
-//! is the process-wide instance the `repro` binary snapshots via
-//! `--metrics PATH`; libraries and tests can also build private registries.
+//! A [`Registry`] hands out named [`Counter`]s, [`Gauge`]s and
+//! [`Histogram`]s; all are lock-free to update (a handful of atomic
+//! operations), so they are safe to touch from the experiment harness's
+//! worker threads. [`global()`] is the process-wide instance the `repro`
+//! binary snapshots via `--metrics PATH` and serves live via `--serve`;
+//! libraries and tests can also build private registries.
+//!
+//! Metrics may carry **labels**: [`counter_with`](Registry::counter_with),
+//! [`gauge_with`](Registry::gauge_with) and
+//! [`histogram_with`](Registry::histogram_with) key a family member by its
+//! name plus a sorted `(key, value)` label set, so
+//! `cells_completed{table="table4.1",method="g = 1"}` and its siblings
+//! share one family. [`span`] is an RAII timer recording wall time into
+//! the labeled [`SPAN_METRIC`] histogram family — cheap enough for
+//! cell-boundary phases, and never placed inside chain hot loops.
 //!
 //! Histograms are log-linear (HDR-style): values group by power of two, each
 //! octave split into [`SUB_BUCKETS`] linear sub-buckets, so relative error is
 //! bounded by `1/SUB_BUCKETS` across the whole `u64` range while the bucket
-//! table stays a few kilobytes. The snapshot format is documented in
-//! BENCHMARKS.md ("Metrics snapshots").
+//! table stays a few kilobytes. The JSON snapshot format is documented in
+//! BENCHMARKS.md ("Metrics snapshots"); [`render_prometheus`](Registry::render_prometheus)
+//! emits the same state as Prometheus text exposition (HELP/TYPE lines,
+//! cumulative `_bucket`/`_sum`/`_count` histogram series).
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
 /// Monotonic counter.
 #[derive(Debug, Default)]
@@ -42,6 +55,57 @@ impl Counter {
     /// Current value.
     pub fn get(&self) -> u64 {
         self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable instantaneous value (worker liveness, heartbeat ages, queue
+/// depths). Stored as `f64` bits in one atomic, so reads and writes are
+/// lock-free and torn-free.
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Gauge {
+    /// A gauge at 0.0.
+    pub fn new() -> Self {
+        Gauge {
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `d` (negative to decrement). A compare-exchange loop keeps
+    /// concurrent adds lossless.
+    pub fn add(&self, d: f64) {
+        let mut current = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + d).to_bits();
+            match self.bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
     }
 }
 
@@ -136,23 +200,30 @@ impl Histogram {
         self.max.load(Ordering::Relaxed)
     }
 
-    /// Lower bound of the bucket containing the `q`-quantile (`0 < q <= 1`);
-    /// 0 when empty. Accurate to the bucket's relative width
-    /// (`1/`[`SUB_BUCKETS`]).
-    pub fn quantile(&self, q: f64) -> u64 {
+    /// Lower bound of the bucket containing the `q`-quantile (`0 < q <= 1`),
+    /// or `None` when no samples were recorded — the caller can then render
+    /// `n/a` instead of a misleading 0. Accurate to the bucket's relative
+    /// width (`1/`[`SUB_BUCKETS`]).
+    pub fn try_quantile(&self, q: f64) -> Option<u64> {
         let count = self.count();
         if count == 0 {
-            return 0;
+            return None;
         }
         let target = ((q * count as f64).ceil() as u64).clamp(1, count);
         let mut seen = 0u64;
         for (i, b) in self.buckets.iter().enumerate() {
             seen += b.load(Ordering::Relaxed);
             if seen >= target {
-                return bucket_lo(i);
+                return Some(bucket_lo(i));
             }
         }
-        self.max()
+        Some(self.max())
+    }
+
+    /// [`try_quantile`](Self::try_quantile) with 0 as the empty sentinel
+    /// (kept for callers that treat "no samples" and "all zero" alike).
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.try_quantile(q).unwrap_or(0)
     }
 
     /// Non-empty buckets as `(lo, hi, count)` with `hi` exclusive.
@@ -177,11 +248,73 @@ impl Histogram {
     }
 }
 
-/// A named collection of counters and histograms.
+/// The histogram family name [`span`] records into, labeled by `phase`.
+/// Samples are wall-clock microseconds.
+pub const SPAN_METRIC: &str = "span_wall_us";
+
+/// An RAII phase timer: created by [`span`] (or
+/// [`Registry::span`]), it records the elapsed wall time in microseconds
+/// into the `span_wall_us{phase="<name>"}` histogram when dropped.
+#[derive(Debug)]
+pub struct Span {
+    hist: Arc<Histogram>,
+    started: Instant,
+}
+
+impl Span {
+    fn enter(registry: &Registry, phase: &str) -> Self {
+        Span {
+            hist: registry.histogram_with(SPAN_METRIC, &[("phase", phase)]),
+            started: Instant::now(),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.hist.record(self.started.elapsed().as_micros() as u64);
+    }
+}
+
+/// Times a phase against the [`global`] registry: the returned guard
+/// records into `span_wall_us{phase="<name>"}` when dropped. Intended for
+/// coarse harness phases (probe/stage/cell/merge) — one histogram record
+/// per phase, never per proposal, so chain hot paths are untouched.
+pub fn span(name: &str) -> Span {
+    global().span(name)
+}
+
+/// A metric's identity: its name plus a sorted label set. Label order is
+/// canonicalized at construction so `[("a","1"),("b","2")]` and its
+/// permutation address the same family member, and the registry's
+/// `BTreeMap` ordering (name first, then labels) makes every snapshot
+/// diff-stable.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct MetricId {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl MetricId {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        MetricId {
+            name: name.to_string(),
+            labels,
+        }
+    }
+}
+
+/// A named collection of counters, gauges and histograms.
 #[derive(Debug, Default)]
 pub struct Registry {
-    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
-    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    counters: Mutex<BTreeMap<MetricId, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<MetricId, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<MetricId, Arc<Histogram>>>,
 }
 
 /// The process-wide registry used by the experiment harness.
@@ -202,49 +335,119 @@ impl Registry {
 
     /// The counter named `name`, created at zero on first use.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.counter_with(name, &[])
+    }
+
+    /// The counter named `name` with the given label set, created at zero
+    /// on first use. Labels are sorted internally, so argument order does
+    /// not matter.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
         let mut map = Self::lock(&self.counters);
-        map.entry(name.to_string())
+        map.entry(MetricId::new(name, labels))
             .or_insert_with(|| Arc::new(Counter::new()))
+            .clone()
+    }
+
+    /// The gauge named `name`, created at 0.0 on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.gauge_with(name, &[])
+    }
+
+    /// The gauge named `name` with the given label set, created at 0.0 on
+    /// first use.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let mut map = Self::lock(&self.gauges);
+        map.entry(MetricId::new(name, labels))
+            .or_insert_with(|| Arc::new(Gauge::new()))
             .clone()
     }
 
     /// The histogram named `name`, created empty on first use.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_with(name, &[])
+    }
+
+    /// The histogram named `name` with the given label set, created empty
+    /// on first use.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
         let mut map = Self::lock(&self.histograms);
-        map.entry(name.to_string())
+        map.entry(MetricId::new(name, labels))
             .or_insert_with(|| Arc::new(Histogram::new()))
             .clone()
     }
 
+    /// An RAII phase timer recording into this registry's
+    /// `span_wall_us{phase="<name>"}` histogram on drop.
+    pub fn span(&self, name: &str) -> Span {
+        Span::enter(self, name)
+    }
+
     /// Serializes every metric as one JSON object (schema
-    /// `anneal-metrics` v1; see BENCHMARKS.md). Counter and histogram names
-    /// are emitted in sorted order so snapshots diff cleanly.
+    /// `anneal-metrics` v2; see BENCHMARKS.md). Metrics are emitted in
+    /// sorted (name, labels) order so snapshots diff cleanly; labeled
+    /// entries carry a `labels` object. v2 added gauges and labels; v1
+    /// snapshots had neither.
     pub fn snapshot_json(&self) -> String {
-        let mut out = String::from("{\"schema\":\"anneal-metrics\",\"version\":1,\"counters\":[");
+        let labels_json = |id: &MetricId| -> String {
+            if id.labels.is_empty() {
+                return String::new();
+            }
+            let body: Vec<String> = id
+                .labels
+                .iter()
+                .map(|(k, v)| format!("\"{}\":\"{}\"", escape(k), escape(v)))
+                .collect();
+            format!("\"labels\":{{{}}},", body.join(","))
+        };
+        let mut out = String::from("{\"schema\":\"anneal-metrics\",\"version\":2,\"counters\":[");
         {
             let map = Self::lock(&self.counters);
-            for (i, (name, c)) in map.iter().enumerate() {
+            for (i, (id, c)) in map.iter().enumerate() {
                 if i > 0 {
                     out.push(',');
                 }
                 out.push_str(&format!(
-                    "{{\"name\":\"{}\",\"value\":{}}}",
-                    escape(name),
+                    "{{\"name\":\"{}\",{}\"value\":{}}}",
+                    escape(&id.name),
+                    labels_json(id),
                     c.get()
+                ));
+            }
+        }
+        out.push_str("],\"gauges\":[");
+        {
+            let map = Self::lock(&self.gauges);
+            for (i, (id, g)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let v = g.get();
+                let value = if v.is_finite() {
+                    format!("{v}")
+                } else {
+                    // JSON has no NaN/Infinity; null mirrors the WAL
+                    // serializer's convention.
+                    "null".to_string()
+                };
+                out.push_str(&format!(
+                    "{{\"name\":\"{}\",{}\"value\":{value}}}",
+                    escape(&id.name),
+                    labels_json(id),
                 ));
             }
         }
         out.push_str("],\"histograms\":[");
         {
             let map = Self::lock(&self.histograms);
-            for (i, (name, h)) in map.iter().enumerate() {
+            for (i, (id, h)) in map.iter().enumerate() {
                 if i > 0 {
                     out.push(',');
                 }
                 out.push_str(&format!(
-                    "{{\"name\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\
+                    "{{\"name\":\"{}\",{}\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\
                      \"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[",
-                    escape(name),
+                    escape(&id.name),
+                    labels_json(id),
                     h.count(),
                     h.sum(),
                     h.min(),
@@ -264,6 +467,159 @@ impl Registry {
         }
         out.push_str("]}");
         out
+    }
+
+    /// Renders every metric in the Prometheus text exposition format
+    /// (version 0.0.4): `# HELP`/`# TYPE` lines per family, escaped label
+    /// values, and histograms as cumulative `_bucket`/`_sum`/`_count`
+    /// series derived from the log-linear buckets (each `le` is the
+    /// bucket's exclusive upper bound, plus the mandatory `+Inf` bucket).
+    /// Dotted metric names are sanitized to `_` for the Prometheus name
+    /// grammar; the `# HELP` line keeps the original name.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::with_capacity(1024);
+
+        let counters: Vec<(MetricId, u64)> = {
+            let map = Self::lock(&self.counters);
+            map.iter().map(|(id, c)| (id.clone(), c.get())).collect()
+        };
+        let mut last_name: Option<String> = None;
+        for (id, value) in &counters {
+            let prom = prom_name(&id.name);
+            if last_name.as_deref() != Some(&id.name) {
+                out.push_str(&format!(
+                    "# HELP {prom} {}\n# TYPE {prom} counter\n",
+                    id.name
+                ));
+                last_name = Some(id.name.clone());
+            }
+            out.push_str(&format!(
+                "{prom}{} {value}\n",
+                prom_labels(&id.labels, None)
+            ));
+        }
+
+        let gauges: Vec<(MetricId, f64)> = {
+            let map = Self::lock(&self.gauges);
+            map.iter().map(|(id, g)| (id.clone(), g.get())).collect()
+        };
+        let mut last_name: Option<String> = None;
+        for (id, value) in &gauges {
+            let prom = prom_name(&id.name);
+            if last_name.as_deref() != Some(&id.name) {
+                out.push_str(&format!("# HELP {prom} {}\n# TYPE {prom} gauge\n", id.name));
+                last_name = Some(id.name.clone());
+            }
+            out.push_str(&format!(
+                "{prom}{} {}\n",
+                prom_labels(&id.labels, None),
+                prom_f64(*value)
+            ));
+        }
+
+        let histograms: Vec<(MetricId, Arc<Histogram>)> = {
+            let map = Self::lock(&self.histograms);
+            map.iter().map(|(id, h)| (id.clone(), h.clone())).collect()
+        };
+        let mut last_name: Option<String> = None;
+        for (id, h) in &histograms {
+            let prom = prom_name(&id.name);
+            if last_name.as_deref() != Some(&id.name) {
+                out.push_str(&format!(
+                    "# HELP {prom} {}\n# TYPE {prom} histogram\n",
+                    id.name
+                ));
+                last_name = Some(id.name.clone());
+            }
+            let mut cumulative = 0u64;
+            for (_lo, hi, n) in h.nonzero_buckets() {
+                cumulative += n;
+                out.push_str(&format!(
+                    "{prom}_bucket{} {cumulative}\n",
+                    prom_labels(&id.labels, Some(&hi.to_string()))
+                ));
+            }
+            out.push_str(&format!(
+                "{prom}_bucket{} {}\n",
+                prom_labels(&id.labels, Some("+Inf")),
+                h.count()
+            ));
+            out.push_str(&format!(
+                "{prom}_sum{} {}\n",
+                prom_labels(&id.labels, None),
+                h.sum()
+            ));
+            out.push_str(&format!(
+                "{prom}_count{} {}\n",
+                prom_labels(&id.labels, None),
+                h.count()
+            ));
+        }
+        out
+    }
+}
+
+/// Maps a dotted metric name onto the Prometheus name grammar
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every other character becomes `_`.
+fn prom_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// The `{key="value",...}` label block, empty when there are no labels.
+/// `le` (for histogram buckets) is appended last, matching Prometheus
+/// convention.
+fn prom_labels(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", prom_name(k), escape_label(v)))
+        .collect();
+    if let Some(le) = le {
+        parts.push(format!("le=\"{le}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+/// Escapes a Prometheus label value: backslash, double quote and newline.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A float in Prometheus exposition syntax (which, unlike JSON, has
+/// NaN/+Inf/-Inf tokens).
+fn prom_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
     }
 }
 
@@ -404,6 +760,28 @@ mod tests {
     }
 
     #[test]
+    fn try_quantile_distinguishes_empty_from_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.try_quantile(0.5), None);
+        h.record(0);
+        assert_eq!(h.try_quantile(0.5), Some(0));
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn gauge_sets_adds_and_reads() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0.0);
+        g.set(2.5);
+        assert_eq!(g.get(), 2.5);
+        g.add(1.0);
+        g.add(-0.5);
+        assert_eq!(g.get(), 3.0);
+        g.set(f64::NAN);
+        assert!(g.get().is_nan());
+    }
+
+    #[test]
     fn registry_returns_shared_handles() {
         let r = Registry::new();
         let a = r.counter("x");
@@ -414,6 +792,49 @@ mod tests {
         let h = r.histogram("y");
         h.record(7);
         assert_eq!(r.histogram("y").count(), 1);
+        let g = r.gauge("z");
+        g.set(4.0);
+        assert_eq!(r.gauge("z").get(), 4.0);
+    }
+
+    #[test]
+    fn labeled_families_key_by_sorted_labels() {
+        let r = Registry::new();
+        r.counter_with("cells", &[("table", "4.1"), ("method", "g = 1")])
+            .inc();
+        // Same member, labels given in the other order.
+        r.counter_with("cells", &[("method", "g = 1"), ("table", "4.1")])
+            .inc();
+        assert_eq!(
+            r.counter_with("cells", &[("table", "4.1"), ("method", "g = 1")])
+                .get(),
+            2
+        );
+        // A different value is a different family member.
+        assert_eq!(
+            r.counter_with("cells", &[("table", "4.2"), ("method", "g = 1")])
+                .get(),
+            0
+        );
+        // The unlabeled member is distinct from every labeled one.
+        assert_eq!(r.counter("cells").get(), 0);
+    }
+
+    #[test]
+    fn span_records_into_the_labeled_histogram() {
+        let r = Registry::new();
+        {
+            let _guard = r.span("cell");
+        }
+        {
+            let _guard = r.span("cell");
+        }
+        let h = r.histogram_with(SPAN_METRIC, &[("phase", "cell")]);
+        assert_eq!(h.count(), 2);
+        assert_eq!(
+            r.histogram_with(SPAN_METRIC, &[("phase", "merge")]).count(),
+            0
+        );
     }
 
     #[test]
@@ -429,12 +850,81 @@ mod tests {
         r.counter("a.first").inc();
         r.histogram("lat").record(42);
         let json = r.snapshot_json();
-        assert!(json.starts_with("{\"schema\":\"anneal-metrics\",\"version\":1,"));
+        assert!(json.starts_with("{\"schema\":\"anneal-metrics\",\"version\":2,"));
         let a = json.find("a.first").unwrap();
         let b = json.find("b.second").unwrap();
         assert!(a < b, "counters sorted by name");
         assert!(json.contains("\"p50\":"));
         // 42 falls in the log-linear bucket [40, 44).
         assert!(json.contains("\"buckets\":[{\"lo\":40,\"hi\":44,\"count\":1}]"));
+    }
+
+    #[test]
+    fn snapshot_json_order_is_pinned_across_label_sets() {
+        // The sorted (name, labels) order is part of the contract: both
+        // `--metrics PATH` and `/metrics` must be diff-stable across runs
+        // regardless of metric registration order.
+        let r = Registry::new();
+        r.counter_with("cells", &[("table", "4.2b")]).add(3);
+        r.counter("aaa").inc();
+        r.counter_with("cells", &[("table", "4.1")]).add(1);
+        r.counter("cells").add(9);
+        r.gauge_with("workers", &[("slot", "1")]).set(1.0);
+        r.gauge("eta").set(2.5);
+        assert_eq!(
+            r.snapshot_json(),
+            "{\"schema\":\"anneal-metrics\",\"version\":2,\"counters\":[\
+             {\"name\":\"aaa\",\"value\":1},\
+             {\"name\":\"cells\",\"value\":9},\
+             {\"name\":\"cells\",\"labels\":{\"table\":\"4.1\"},\"value\":1},\
+             {\"name\":\"cells\",\"labels\":{\"table\":\"4.2b\"},\"value\":3}],\
+             \"gauges\":[\
+             {\"name\":\"eta\",\"value\":2.5},\
+             {\"name\":\"workers\",\"labels\":{\"slot\":\"1\"},\"value\":1}],\
+             \"histograms\":[]}"
+        );
+    }
+
+    #[test]
+    fn prometheus_exposition_golden() {
+        let r = Registry::new();
+        r.counter_with("cells.completed", &[("table", "4.1"), ("method", "g = 1")])
+            .add(3);
+        r.counter_with(
+            "cells.completed",
+            &[("method", "fast \"g\"\n"), ("table", "4.2b")],
+        )
+        .inc();
+        r.gauge("workers.live").set(2.0);
+        r.histogram("lat").record(42);
+        r.histogram("lat").record(42);
+        r.histogram("lat").record(100);
+        assert_eq!(
+            r.render_prometheus(),
+            "# HELP cells_completed cells.completed\n\
+             # TYPE cells_completed counter\n\
+             cells_completed{method=\"fast \\\"g\\\"\\n\",table=\"4.2b\"} 1\n\
+             cells_completed{method=\"g = 1\",table=\"4.1\"} 3\n\
+             # HELP workers_live workers.live\n\
+             # TYPE workers_live gauge\n\
+             workers_live 2\n\
+             # HELP lat lat\n\
+             # TYPE lat histogram\n\
+             lat_bucket{le=\"44\"} 2\n\
+             lat_bucket{le=\"104\"} 3\n\
+             lat_bucket{le=\"+Inf\"} 3\n\
+             lat_sum 184\n\
+             lat_count 3\n"
+        );
+    }
+
+    #[test]
+    fn prometheus_names_and_specials_are_sanitized() {
+        assert_eq!(prom_name("runner.cells"), "runner_cells");
+        assert_eq!(prom_name("span-wall us"), "span_wall_us");
+        assert_eq!(prom_name("9lives"), "_9lives");
+        assert_eq!(prom_f64(f64::NAN), "NaN");
+        assert_eq!(prom_f64(f64::INFINITY), "+Inf");
+        assert_eq!(prom_f64(1.25), "1.25");
     }
 }

@@ -305,6 +305,28 @@ pub fn kernels() -> Vec<Kernel> {
         });
     }
 
+    // Observability overhead: one span guard open/close (an Instant read
+    // plus a histogram record on drop) and one labeled-counter increment —
+    // the per-cell costs the live ops plane charges at cell boundaries.
+    // These guard the "spans are cheap enough to leave on" claim.
+    {
+        let registry = anneal_core::metrics::Registry::new();
+        list.push(Kernel {
+            name: "metrics/span_guard",
+            evals_per_iter: 1.0,
+            run: Box::new(move |b| b.iter(|| std::hint::black_box(registry.span("bench")))),
+        });
+    }
+    {
+        let registry = anneal_core::metrics::Registry::new();
+        let counter = registry.counter_with("bench_cells", &[("method", "m"), ("table", "t")]);
+        list.push(Kernel {
+            name: "metrics/labeled_counter_inc",
+            evals_per_iter: 1.0,
+            run: Box::new(move |b| b.iter(|| counter.inc())),
+        });
+    }
+
     list
 }
 

@@ -4,6 +4,7 @@
 //! ```text
 //! report --wal WAL [--trace DIR] [--out PATH]
 //! report --compare OLD.json NEW.json [--threshold PCT] [--strict]
+//! report --trace DIR --chrome-trace OUT.json
 //!
 //! MODES:
 //!   --wal WAL            render a Markdown report from a telemetry WAL
@@ -12,6 +13,11 @@
 //!                        (time per temperature, energy sparklines)
 //!   --compare OLD NEW    diff two `bench --json` snapshots and flag
 //!                        kernels that got slower
+//!   --chrome-trace OUT   convert a `--trace DIR` directory to Chrome
+//!                        Trace Event JSON (open in chrome://tracing or
+//!                        Perfetto): one pid per table, one tid per
+//!                        cell/replica, temperature stages as duration
+//!                        events
 //!
 //! OPTIONS:
 //!   --out PATH           write the Markdown to PATH instead of stdout
@@ -29,7 +35,8 @@ use std::process::ExitCode;
 use anneal_experiments::{checkpoint, exit_codes, reporting, trace};
 
 const USAGE: &str = "usage: report --wal WAL [--trace DIR] [--out PATH]\n\
-       report --compare OLD.json NEW.json [--threshold PCT] [--strict]";
+       report --compare OLD.json NEW.json [--threshold PCT] [--strict]\n\
+       report --trace DIR --chrome-trace OUT.json";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -48,6 +55,7 @@ struct Args {
     trace_dir: Option<String>,
     out: Option<String>,
     compare: Option<(String, String)>,
+    chrome_trace: Option<String>,
     threshold: f64,
     strict: bool,
 }
@@ -58,6 +66,7 @@ fn parse(args: &[String]) -> Result<Args, String> {
         trace_dir: None,
         out: None,
         compare: None,
+        chrome_trace: None,
         threshold: 10.0,
         strict: false,
     };
@@ -89,8 +98,18 @@ fn parse(args: &[String]) -> Result<Args, String> {
                 parsed.threshold = pct;
             }
             "--strict" => parsed.strict = true,
+            "--chrome-trace" => parsed.chrome_trace = Some(value_of("--chrome-trace")?.clone()),
             other => return Err(format!("unknown argument `{other}`")),
         }
+    }
+    if parsed.chrome_trace.is_some() {
+        if parsed.trace_dir.is_none() {
+            return Err("--chrome-trace needs --trace DIR to read events from".into());
+        }
+        if parsed.wal.is_some() || parsed.compare.is_some() {
+            return Err("--chrome-trace is its own mode: drop --wal/--compare".into());
+        }
+        return Ok(parsed);
     }
     match (&parsed.wal, &parsed.compare) {
         (None, None) => Err("give either --wal WAL or --compare OLD NEW".into()),
@@ -115,6 +134,21 @@ fn emit(out: &Option<String>, text: &str) -> Result<(), String> {
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let parsed = parse(args)?;
+
+    if let Some(out_path) = &parsed.chrome_trace {
+        let dir = parsed
+            .trace_dir
+            .as_deref()
+            .expect("parse() guarantees --trace");
+        let traces = trace::load_dir(Path::new(dir))?;
+        let json = reporting::chrome_trace_json(&traces);
+        std::fs::write(out_path, &json).map_err(|e| format!("cannot write `{out_path}`: {e}"))?;
+        eprintln!(
+            "chrome trace with {} cell trace(s) written to {out_path}",
+            traces.len()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
 
     if let Some((old_path, new_path)) = &parsed.compare {
         let old = std::fs::read_to_string(old_path)

@@ -72,6 +72,13 @@
 //!                     process isolation: consecutive hard process failures
 //!                     in one table before the rest of that table is
 //!                     skipped (default 3)
+//!   --serve ADDR      serve the live ops endpoints on ADDR (e.g.
+//!                     127.0.0.1:9090; port 0 picks a free port):
+//!                     GET /metrics (Prometheus text exposition),
+//!                     GET /healthz (200 while healthy, 503 once the suite
+//!                     is degraded), GET /progress (JSON: per-table cell
+//!                     states, ETA, supervisor worker heartbeat ages).
+//!                     Absent: nothing binds; results are identical
 //!
 //! Exit status: 0 on success, 1 on usage errors, 2 when the suite is
 //! degraded (failed cells, tripped breakers or lost telemetry records) — a
@@ -85,8 +92,8 @@ use std::sync::Arc;
 
 use anneal_experiments::{
     ablation, checkpoint, cli, diagnostics, exit_codes, ext_partition, ext_tsp, full_roster,
-    progress, supervisor, tables, trajectory, tuning, ChaosWriter, FaultPlan, Progress,
-    SuiteConfig, Supervisor, SupervisorEvent, Table, TelemetryLog, TraceSink, TunedY,
+    progress, supervisor, tables, trajectory, tuning, ChaosWriter, FaultPlan, OpsBoard, OpsServer,
+    Progress, SuiteConfig, Supervisor, SupervisorEvent, Table, TelemetryLog, TraceSink, TunedY,
 };
 
 fn main() -> ExitCode {
@@ -119,6 +126,25 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     // gracefully on SIGINT/SIGTERM instead of dying mid-WAL-record.
     supervisor::signals::install();
     let config = parsed.config;
+
+    // Live ops plane: the board is shared run state behind /healthz,
+    // /progress and the --progress worker fragment; the server binds only
+    // under --serve. With neither flag nothing is created or bound.
+    let expected_cells = {
+        let roster_len = full_roster(TunedY::default()).len();
+        progress::expected_cells(&parsed.experiments, roster_len)
+    };
+    let board = (parsed.serve.is_some()
+        || (parsed.progress && parsed.isolation == cli::Isolation::Process))
+        .then(|| OpsBoard::new(expected_cells));
+    let _server = match (&parsed.serve, &board) {
+        (Some(addr), Some(board)) => {
+            let server = OpsServer::start(addr, Arc::clone(board))?;
+            eprintln!("ops: serving on {}", server.local_addr());
+            Some(server)
+        }
+        _ => None,
+    };
 
     let resumed = match &parsed.resume {
         Some(path) => {
@@ -160,12 +186,14 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             };
             TelemetryLog::with_writer(writer)
         }
-        // Resume replay, fault accounting, tracing and the progress ticker
-        // all need a live log even without a WAL on disk.
+        // Resume replay, fault accounting, tracing, the progress ticker
+        // and the ops plane all need a live log even without a WAL on
+        // disk.
         None if parsed.resume.is_some()
             || faults.is_some()
             || parsed.trace.is_some()
-            || parsed.progress =>
+            || parsed.progress
+            || parsed.serve.is_some() =>
         {
             TelemetryLog::in_memory()
         }
@@ -175,15 +203,15 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         Some(dir) => Some(TraceSink::new(dir, faults)?),
         None => None,
     };
-    let ticker = parsed.progress.then(|| {
-        let roster_len = full_roster(TunedY::default()).len();
-        Progress::new(progress::expected_cells(&parsed.experiments, roster_len))
-    });
+    let ticker = parsed
+        .progress
+        .then(|| Progress::new(expected_cells).with_ops(board.clone()));
     let log = log
         .with_faults(faults)
         .with_resume(resumed)
         .with_trace(trace)
-        .with_progress(ticker);
+        .with_progress(ticker)
+        .with_ops(board.clone());
     let log = match parsed.isolation {
         cli::Isolation::Thread => log,
         cli::Isolation::Process => {
@@ -203,7 +231,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 parsed.heartbeat,
                 parsed.breaker_threshold,
                 shard_base,
-            )?;
+            )?
+            .with_ops(board.clone());
             let log = if log.is_enabled() {
                 log
             } else {

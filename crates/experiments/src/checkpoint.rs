@@ -316,6 +316,7 @@ pub fn open_shard(path: &str, meta: &WalMeta) -> Result<Box<dyn Write + Send>, S
 /// produced for the same records: header line, then each surviving record
 /// line verbatim in sequence order.
 pub fn merge_shards(texts: &[&str]) -> Result<String, String> {
+    let _merge_span = anneal_core::metrics::span("merge");
     let mut meta: Option<WalMeta> = None;
     let mut by_seq: std::collections::BTreeMap<u64, String> = std::collections::BTreeMap::new();
     for (shard_idx, text) in texts.iter().enumerate() {

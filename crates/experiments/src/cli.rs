@@ -38,7 +38,7 @@ pub const USAGE: &str = "usage: repro [--scale N] [--seed N] [--csv] [--threads 
      [--telemetry PATH] [--resume WAL] [--trace DIR] [--metrics PATH] \
      [--progress] [--faults SPEC] [--retries N] [--backoff-ms N] \
      [--watchdog-ms N] [--isolation thread|process] [--heartbeat-ms N] \
-     [--breaker-threshold N] <experiment>...";
+     [--breaker-threshold N] [--serve ADDR] <experiment>...";
 
 /// The `--strategy` spellings `repro` accepts.
 pub const STRATEGIES: [&str; 4] = ["figure1", "figure2", "rejectionless", "replica-exchange"];
@@ -94,6 +94,10 @@ pub struct Cli {
     pub metrics: Option<String>,
     /// Show a live cells-done ticker on stderr.
     pub progress: bool,
+    /// Serve the live ops endpoints (`/metrics`, `/healthz`, `/progress`)
+    /// on this address (`--serve`, e.g. `127.0.0.1:9090`; port 0 picks a
+    /// free port). `None` binds nothing.
+    pub serve: Option<String>,
     /// Fault-injection plan (`--faults`; the `ANNEAL_FAULTS` environment
     /// variable is merged in by the binary, not here, so parsing stays
     /// pure).
@@ -122,6 +126,7 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
     let mut trace: Option<String> = None;
     let mut metrics: Option<String> = None;
     let mut progress = false;
+    let mut serve: Option<String> = None;
     let mut faults: Option<FaultPlan> = None;
     let mut isolation = Isolation::default();
     let mut isolation_set = false;
@@ -234,6 +239,15 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
             "--resume" => resume = Some(value_of("--resume")?.clone()),
             "--trace" => trace = Some(value_of("--trace")?.clone()),
             "--metrics" => metrics = Some(value_of("--metrics")?.clone()),
+            "--serve" => {
+                let v = value_of("--serve")?;
+                if !v.contains(':') {
+                    return Err(format!(
+                        "bad --serve value `{v}` (expected HOST:PORT, e.g. 127.0.0.1:9090)"
+                    ));
+                }
+                serve = Some(v.clone());
+            }
             "--faults" => faults = Some(FaultPlan::parse(value_of("--faults")?)?),
             "--isolation" => {
                 let v = value_of("--isolation")?;
@@ -355,6 +369,11 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                      --isolation process"
                     .into());
             }
+            if serve.is_some() {
+                return Err("--worker-cell is itself a worker: it cannot use --serve \
+                     (only the supervising parent serves the ops endpoints)"
+                    .into());
+            }
             let Some(shard) = worker_shard else {
                 return Err("--worker-cell requires --worker-shard".into());
             };
@@ -390,6 +409,7 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
         trace,
         metrics,
         progress,
+        serve,
         faults,
         isolation,
         heartbeat,
@@ -638,6 +658,38 @@ mod tests {
         .to_vec();
         let err = parse(&argv).unwrap_err();
         assert!(err.contains("cannot use"), "{err}");
+    }
+
+    #[test]
+    fn serve_flag_parses_and_validates() {
+        let cli = parse(&args("--serve 127.0.0.1:9090 table4.1")).unwrap();
+        assert_eq!(cli.serve.as_deref(), Some("127.0.0.1:9090"));
+        let cli = parse(&args("--serve 127.0.0.1:0 table4.1")).unwrap();
+        assert_eq!(cli.serve.as_deref(), Some("127.0.0.1:0"));
+        let cli = parse(&args("table4.1")).unwrap();
+        assert_eq!(cli.serve, None);
+        let err = parse(&args("--serve 9090 table4.1")).unwrap_err();
+        assert!(err.contains("expected HOST:PORT"), "{err}");
+        assert!(parse(&args("--serve"))
+            .unwrap_err()
+            .contains("needs a value"));
+    }
+
+    #[test]
+    fn serve_is_rejected_in_worker_mode() {
+        let sep = supervisor::CELL_FIELD_SEP;
+        let argv: Vec<String> = [
+            "--worker-cell".into(),
+            format!("t{sep}m{sep}c"),
+            "--worker-shard".into(),
+            "s.0".into(),
+            "--serve".into(),
+            "127.0.0.1:0".into(),
+            "table4.1".into(),
+        ]
+        .to_vec();
+        let err = parse(&argv).unwrap_err();
+        assert!(err.contains("cannot use --serve"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,618 @@
+//! Live ops plane for `repro --serve ADDR`: a dependency-free HTTP/1.1
+//! endpoint exposing the run's metrics and health while it executes.
+//!
+//! Two pieces:
+//!
+//! * [`OpsBoard`] — shared run state fed by the telemetry log (cell
+//!   completions), the supervisor (worker heartbeats, respawns, breaker
+//!   trips) and the WAL writer (lost records). It also mirrors the hot
+//!   facts into the global [`anneal_core::metrics`] registry as
+//!   labeled gauges/counters so `/metrics` and `--metrics PATH` see them.
+//! * [`OpsServer`] — a hand-rolled `std::net::TcpListener` server (the
+//!   workspace is offline/vendored-only, so no hyper/axum) serving:
+//!   - `GET /metrics` — Prometheus text exposition of the global registry;
+//!   - `GET /healthz` — `200 ok` while the suite is healthy, `503` with
+//!     the reasons once it is degraded (cell failure, lost telemetry,
+//!     circuit breaker open);
+//!   - `GET /progress` — JSON: per-table cell states, retries, supervisor
+//!     worker liveness (heartbeat ages), and an ETA from the same
+//!     estimator the `--progress` ticker uses.
+//!
+//! Both are created only when `--serve` (or, for the board, `--progress`
+//! under process isolation) is on: with the flags absent nothing binds,
+//! nothing is shared, and results stay bitwise-identical. Updates happen
+//! at cell boundaries and supervisor wait-loop ticks — never inside chain
+//! hot loops.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use anneal_core::metrics;
+
+use crate::supervisor::signals;
+
+/// A supervised worker slot's lifecycle state, as shown by `/progress`
+/// and the `--progress` ticker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerState {
+    /// A child process is running and heartbeating.
+    Live,
+    /// The previous child died abnormally; a replacement was spawned.
+    Respawning,
+    /// The slot's last child exited; nothing is running in it.
+    Idle,
+}
+
+impl WorkerState {
+    fn as_str(self) -> &'static str {
+        match self {
+            WorkerState::Live => "live",
+            WorkerState::Respawning => "respawning",
+            WorkerState::Idle => "idle",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct WorkerSlot {
+    state: WorkerState,
+    /// Heartbeat age as last reported by the supervisor wait loop, plus
+    /// when it was reported — scrape-time age adds the elapsed gap.
+    beat_age: Duration,
+    reported: Instant,
+}
+
+#[derive(Debug, Default)]
+struct TableState {
+    done: usize,
+    failed: usize,
+    retried: usize,
+}
+
+#[derive(Debug)]
+struct BoardState {
+    tables: BTreeMap<String, TableState>,
+    workers: BTreeMap<usize, WorkerSlot>,
+    /// Tables whose circuit breaker has tripped.
+    breakers: Vec<String>,
+    respawns: u64,
+    /// Telemetry records lost to write errors.
+    lost: u64,
+    done: usize,
+    failed: usize,
+    retried: usize,
+}
+
+/// Shared live-run state behind `/healthz`, `/progress` and the worker
+/// fragment of the `--progress` ticker. Cheap to update (one mutex, cell
+/// boundaries and 5 ms supervisor ticks only) and safe to share across
+/// the runner's worker threads.
+pub struct OpsBoard {
+    started: Instant,
+    expected: Option<usize>,
+    degraded: AtomicBool,
+    state: Mutex<BoardState>,
+}
+
+impl std::fmt::Debug for OpsBoard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OpsBoard")
+            .field("expected", &self.expected)
+            .field("degraded", &self.degraded.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl OpsBoard {
+    /// A fresh board expecting `expected` cells (`None` when the suite
+    /// mix makes the total unknown; `/progress` then omits the ETA).
+    pub fn new(expected: Option<usize>) -> Arc<Self> {
+        Arc::new(OpsBoard {
+            started: Instant::now(),
+            expected: expected.filter(|&t| t > 0),
+            degraded: AtomicBool::new(false),
+            state: Mutex::new(BoardState {
+                tables: BTreeMap::new(),
+                workers: BTreeMap::new(),
+                breakers: Vec::new(),
+                respawns: 0,
+                lost: 0,
+                done: 0,
+                failed: 0,
+                retried: 0,
+            }),
+        })
+    }
+
+    fn lock(&self) -> MutexGuard<'_, BoardState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Notes one completed cell (both execution paths land here via
+    /// [`TelemetryLog::record`](crate::TelemetryLog::record)).
+    pub fn cell_done(&self, table: &str, ok: bool, attempts: u32) {
+        let mut state = self.lock();
+        {
+            let t = state.tables.entry(table.to_string()).or_default();
+            t.done += 1;
+            if attempts > 1 {
+                t.retried += 1;
+            }
+            if !ok {
+                t.failed += 1;
+            }
+        }
+        state.done += 1;
+        if attempts > 1 {
+            state.retried += 1;
+        }
+        if !ok {
+            state.failed += 1;
+            self.degraded.store(true, Ordering::Relaxed);
+        }
+        let done = state.done as f64;
+        drop(state);
+        metrics::global().gauge("suite.cells_done").set(done);
+        if !ok {
+            metrics::global().gauge("suite.degraded").set(1.0);
+        }
+    }
+
+    /// Notes one telemetry record lost to a WAL write error — the suite
+    /// will exit degraded, so `/healthz` flips immediately.
+    pub fn note_lost(&self) {
+        self.lock().lost += 1;
+        self.degraded.store(true, Ordering::Relaxed);
+        metrics::global().gauge("suite.degraded").set(1.0);
+    }
+
+    /// Notes a worker child spawned into `slot` (`respawn` when it
+    /// replaces an abnormal death).
+    pub fn worker_spawned(&self, slot: usize, respawn: bool) {
+        let mut state = self.lock();
+        state.workers.insert(
+            slot,
+            WorkerSlot {
+                state: if respawn {
+                    WorkerState::Respawning
+                } else {
+                    WorkerState::Live
+                },
+                beat_age: Duration::ZERO,
+                reported: Instant::now(),
+            },
+        );
+        if respawn {
+            state.respawns += 1;
+        }
+        let (live, respawns) = (count_live(&state), state.respawns);
+        drop(state);
+        metrics::global().gauge("workers.live").set(live as f64);
+        if respawn {
+            metrics::global().counter("supervisor.respawns").inc();
+            metrics::global()
+                .gauge("supervisor.respawns_total")
+                .set(respawns as f64);
+        }
+    }
+
+    /// Notes the worker in `slot`'s current heartbeat age, from the
+    /// supervisor's wait loop. A beating worker is live, whatever it was.
+    pub fn worker_beat(&self, slot: usize, beat_age: Duration) {
+        let mut state = self.lock();
+        if let Some(w) = state.workers.get_mut(&slot) {
+            w.state = WorkerState::Live;
+            w.beat_age = beat_age;
+            w.reported = Instant::now();
+        }
+        drop(state);
+        metrics::global()
+            .gauge_with("worker_heartbeat_age_ms", &[("slot", &slot.to_string())])
+            .set(beat_age.as_secs_f64() * 1e3);
+    }
+
+    /// Notes the worker in `slot` exited (cleanly or not).
+    pub fn worker_exited(&self, slot: usize) {
+        let mut state = self.lock();
+        if let Some(w) = state.workers.get_mut(&slot) {
+            w.state = WorkerState::Idle;
+            w.reported = Instant::now();
+        }
+        let live = count_live(&state);
+        drop(state);
+        metrics::global().gauge("workers.live").set(live as f64);
+    }
+
+    /// Notes `table`'s circuit breaker tripping: the suite is degraded
+    /// from here on.
+    pub fn breaker_tripped(&self, table: &str) {
+        let mut state = self.lock();
+        if !state.breakers.iter().any(|t| t == table) {
+            state.breakers.push(table.to_string());
+        }
+        drop(state);
+        self.degraded.store(true, Ordering::Relaxed);
+        metrics::global().gauge("suite.degraded").set(1.0);
+        metrics::global()
+            .gauge_with("breaker_open", &[("table", table)])
+            .set(1.0);
+    }
+
+    /// Whether the suite has degraded (cell failure, lost record, or open
+    /// breaker) — the `/healthz` predicate.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// The `/healthz` body: `ok` or the degradation reasons.
+    fn health_body(&self) -> String {
+        if !self.is_degraded() {
+            return "ok\n".to_string();
+        }
+        let state = self.lock();
+        let mut reasons = Vec::new();
+        if state.failed > 0 {
+            reasons.push(format!("{} cell(s) failed", state.failed));
+        }
+        if state.lost > 0 {
+            reasons.push(format!("{} telemetry record(s) lost", state.lost));
+        }
+        for table in &state.breakers {
+            reasons.push(format!("circuit breaker open for {table}"));
+        }
+        if reasons.is_empty() {
+            reasons.push("degraded".to_string());
+        }
+        format!("degraded: {}\n", reasons.join("; "))
+    }
+
+    /// The `/progress` JSON document.
+    pub fn progress_json(&self) -> String {
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let state = self.lock();
+        let eta = match self.expected {
+            Some(total) if state.done > 0 && state.done < total => {
+                Some(elapsed / state.done as f64 * (total - state.done) as f64)
+            }
+            _ => None,
+        };
+        let mut out = format!(
+            "{{\"elapsed_s\":{elapsed:.3},\"expected\":{},\"done\":{},\"failed\":{},\
+             \"retried\":{},\"eta_s\":{},\"degraded\":{},\"draining\":{},\"lost\":{},\
+             \"respawns\":{},\"tables\":{{",
+            match self.expected {
+                Some(t) => t.to_string(),
+                None => "null".to_string(),
+            },
+            state.done,
+            state.failed,
+            state.retried,
+            match eta {
+                Some(e) => format!("{e:.3}"),
+                None => "null".to_string(),
+            },
+            self.is_degraded(),
+            signals::draining(),
+            state.lost,
+            state.respawns,
+        );
+        for (i, (table, t)) in state.tables.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"done\":{},\"failed\":{},\"retried\":{}}}",
+                escape_json(table),
+                t.done,
+                t.failed,
+                t.retried
+            ));
+        }
+        out.push_str("},\"workers\":[");
+        for (i, (slot, w)) in state.workers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            // A live worker's age keeps growing between supervisor ticks.
+            let age = match w.state {
+                WorkerState::Idle => w.beat_age,
+                _ => w.beat_age + w.reported.elapsed(),
+            };
+            out.push_str(&format!(
+                "{{\"slot\":{slot},\"state\":\"{}\",\"heartbeat_age_ms\":{:.0}}}",
+                w.state.as_str(),
+                age.as_secs_f64() * 1e3
+            ));
+        }
+        out.push_str("],\"breakers\":[");
+        for (i, table) in state.breakers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\"", escape_json(table)));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// The worker-liveness fragment for the `--progress` ticker, e.g.
+    /// `2 workers live, oldest hb 40ms` — `None` until a worker has been
+    /// seen (in-process runs never show it).
+    pub fn ticker_fragment(&self) -> Option<String> {
+        let state = self.lock();
+        if state.workers.is_empty() {
+            return None;
+        }
+        let live = count_live(&state);
+        let respawning = state
+            .workers
+            .values()
+            .filter(|w| w.state == WorkerState::Respawning)
+            .count();
+        let oldest = state
+            .workers
+            .values()
+            .filter(|w| w.state != WorkerState::Idle)
+            .map(|w| w.beat_age + w.reported.elapsed())
+            .max();
+        let mut s = format!("{live} worker(s) live");
+        if respawning > 0 {
+            s.push_str(&format!(", {respawning} respawning"));
+        }
+        if signals::draining() {
+            s.push_str(", draining");
+        }
+        if let Some(age) = oldest {
+            s.push_str(&format!(", oldest hb {:.0}ms", age.as_secs_f64() * 1e3));
+        }
+        Some(s)
+    }
+}
+
+fn count_live(state: &BoardState) -> usize {
+    state
+        .workers
+        .values()
+        .filter(|w| w.state != WorkerState::Idle)
+        .count()
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The `--serve` HTTP server: a background accept loop over a
+/// non-blocking [`TcpListener`], shut down when the handle drops (end of
+/// the run). One request per connection (`Connection: close`), which is
+/// all a scraper needs.
+pub struct OpsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for OpsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OpsServer")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl OpsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9090`; port 0 picks a free port) and
+    /// starts serving `board` in a background thread.
+    pub fn start(addr: &str, board: Arc<OpsBoard>) -> Result<OpsServer, String> {
+        let listener =
+            TcpListener::bind(addr).map_err(|e| format!("--serve: cannot bind {addr}: {e}"))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| format!("--serve: cannot read bound address: {e}"))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("--serve: cannot set non-blocking: {e}"))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => handle(stream, &board),
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(20));
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(20)),
+                    }
+                }
+            })
+        };
+        Ok(OpsServer {
+            addr: local,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The actually-bound address (resolves `:0` to the chosen port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for OpsServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            t.join().ok();
+        }
+    }
+}
+
+/// Serves one request on `stream`. Any parse or I/O problem just drops
+/// the connection — the ops plane must never take down the run.
+fn handle(stream: TcpStream, board: &OpsBoard) {
+    let mut stream = stream;
+    stream.set_nonblocking(false).ok();
+    stream
+        .set_read_timeout(Some(Duration::from_millis(500)))
+        .ok();
+    // Read until the end of the request headers (we never expect a body).
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
+                    break;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+    let request = String::from_utf8_lossy(&buf);
+    let mut parts = request.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, content_type, body) = match (method, path) {
+        ("GET", "/metrics") => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            metrics::global().render_prometheus(),
+        ),
+        ("GET", "/healthz") => {
+            let body = board.health_body();
+            let status = if board.is_degraded() {
+                "503 Service Unavailable"
+            } else {
+                "200 OK"
+            };
+            (status, "text/plain; charset=utf-8", body)
+        }
+        ("GET", "/progress") => (
+            "200 OK",
+            "application/json; charset=utf-8",
+            board.progress_json(),
+        ),
+        ("GET", _) => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".into(),
+        ),
+        _ => (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".into(),
+        ),
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes()).ok();
+    stream.flush().ok();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        let (head, body) = response.split_once("\r\n\r\n").expect("header split");
+        let status = head.lines().next().unwrap_or("").to_string();
+        (status, body.to_string())
+    }
+
+    #[test]
+    fn board_tracks_cells_workers_and_degradation() {
+        signals::reset_for_test();
+        let board = OpsBoard::new(Some(4));
+        assert!(!board.is_degraded());
+        board.cell_done("table4.1", true, 1);
+        board.cell_done("table4.1", true, 3);
+        assert!(!board.is_degraded());
+        board.worker_spawned(0, false);
+        board.worker_beat(0, Duration::from_millis(40));
+        let json = board.progress_json();
+        assert!(json.contains("\"done\":2"), "{json}");
+        assert!(json.contains("\"retried\":1"), "{json}");
+        assert!(json.contains("\"expected\":4"), "{json}");
+        assert!(json.contains("\"eta_s\":"), "{json}");
+        assert!(json.contains("\"table4.1\":{\"done\":2"), "{json}");
+        assert!(json.contains("\"slot\":0,\"state\":\"live\""), "{json}");
+        let ticker = board.ticker_fragment().expect("worker fragment");
+        assert!(ticker.contains("1 worker(s) live"), "{ticker}");
+        assert!(ticker.contains("oldest hb"), "{ticker}");
+
+        board.cell_done("table4.2b", false, 2);
+        board.breaker_tripped("table4.2b");
+        assert!(board.is_degraded());
+        let health = board.health_body();
+        assert!(health.contains("1 cell(s) failed"), "{health}");
+        assert!(
+            health.contains("circuit breaker open for table4.2b"),
+            "{health}"
+        );
+        board.worker_exited(0);
+        assert_eq!(board.ticker_fragment().unwrap(), "0 worker(s) live");
+    }
+
+    #[test]
+    fn ticker_fragment_is_absent_without_workers() {
+        let board = OpsBoard::new(None);
+        board.cell_done("table4.1", true, 1);
+        assert_eq!(board.ticker_fragment(), None);
+        // No expected total: no ETA, expected is null.
+        let json = board.progress_json();
+        assert!(json.contains("\"expected\":null"), "{json}");
+        assert!(json.contains("\"eta_s\":null"), "{json}");
+    }
+
+    #[test]
+    fn server_serves_all_three_endpoints() {
+        signals::reset_for_test();
+        let board = OpsBoard::new(Some(2));
+        board.cell_done("table4.1", true, 1);
+        let server = OpsServer::start("127.0.0.1:0", Arc::clone(&board)).expect("bind");
+        let addr = server.local_addr();
+
+        let (status, body) = get(addr, "/healthz");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert_eq!(body, "ok\n");
+
+        let (status, body) = get(addr, "/metrics");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert!(body.contains("# TYPE suite_cells_done gauge"), "{body}");
+
+        let (status, body) = get(addr, "/progress");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert!(body.starts_with("{\"elapsed_s\":"), "{body}");
+
+        let (status, _) = get(addr, "/nope");
+        assert_eq!(status, "HTTP/1.1 404 Not Found");
+
+        board.cell_done("table4.1", false, 1);
+        let (status, body) = get(addr, "/healthz");
+        assert_eq!(status, "HTTP/1.1 503 Service Unavailable");
+        assert!(body.starts_with("degraded:"), "{body}");
+    }
+}

@@ -8,14 +8,20 @@
 //! not a scroll.
 
 use std::io::Write;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+use crate::ops::OpsBoard;
 
 /// A thread-safe cell-completion ticker writing to stderr.
 #[derive(Debug)]
 pub struct Progress {
     state: Mutex<State>,
     total: Option<usize>,
+    /// Live ops board: under `--isolation process` the ticker appends the
+    /// supervisor's worker-liveness fragment (same state `/progress`
+    /// serves).
+    ops: Option<Arc<OpsBoard>>,
 }
 
 #[derive(Debug)]
@@ -41,7 +47,16 @@ impl Progress {
                 last_len: 0,
             }),
             total: total.filter(|&t| t > 0),
+            ops: None,
         }
+    }
+
+    /// Attaches a live ops board (builder style): when a supervisor is
+    /// feeding it, the ticker shows worker liveness (live/respawning,
+    /// oldest heartbeat age). `None` clears it.
+    pub fn with_ops(mut self, ops: Option<Arc<OpsBoard>>) -> Self {
+        self.ops = ops;
+        self
     }
 
     /// Notes one completed cell and redraws the status line. `ok` is
@@ -80,6 +95,9 @@ impl Progress {
         }
         if state.failed > 0 {
             line.push_str(&format!(", {} FAILED", state.failed));
+        }
+        if let Some(fragment) = self.ops.as_ref().and_then(|b| b.ticker_fragment()) {
+            line.push_str(&format!(", {fragment}"));
         }
         line
     }
@@ -184,6 +202,17 @@ mod tests {
         );
         assert_eq!(expected_cells(&exps(&["tuning"]), 13), None);
         assert_eq!(expected_cells(&exps(&["table4.1", "tuning"]), 13), None);
+    }
+
+    #[test]
+    fn ticker_appends_worker_liveness_from_the_ops_board() {
+        let board = crate::ops::OpsBoard::new(Some(4));
+        board.worker_spawned(0, false);
+        let p = Progress::new(Some(4)).with_ops(Some(board));
+        let s = p.state.lock().unwrap();
+        let line = p.render(&s);
+        assert!(line.contains("1 worker(s) live"), "{line}");
+        assert!(line.contains("oldest hb"), "{line}");
     }
 
     #[test]

@@ -409,16 +409,26 @@ fn claims_section(out: &mut String, cells: &[&CellRecord]) {
 }
 
 /// Wall time per temperature index, aggregated over a table's traces.
+/// Per-stage p50/p99 come from a log-linear histogram of the individual
+/// stage walls; a temperature index with no samples renders `n/a`
+/// ([`Histogram::try_quantile`](anneal_core::metrics::Histogram::try_quantile)
+/// distinguishes "no samples" from "all zero").
 fn time_section(out: &mut String, traces: &[&CellTrace]) {
+    use anneal_core::metrics::Histogram;
     let mut wall_by_temp: Vec<f64> = Vec::new();
+    let mut hist_by_temp: Vec<Histogram> = Vec::new();
     for trace in traces {
         for event in &trace.events {
             if let TraceEvent::Temp { temp, wall_ms, .. } = event {
                 if wall_by_temp.len() <= *temp {
                     wall_by_temp.resize(temp + 1, 0.0);
+                    hist_by_temp.resize_with(temp + 1, Histogram::new);
                 }
                 if wall_ms.is_finite() {
                     wall_by_temp[*temp] += wall_ms;
+                    // Microsecond samples: stage walls are often < 1 ms at
+                    // small scales, which would all collapse into bucket 0.
+                    hist_by_temp[*temp].record((wall_ms * 1e3) as u64);
                 }
             }
         }
@@ -427,10 +437,23 @@ fn time_section(out: &mut String, traces: &[&CellTrace]) {
     if total <= 0.0 {
         return;
     }
+    let q = |h: &Histogram, q: f64| match h.try_quantile(q) {
+        Some(us) => format!("{:.2}", us as f64 / 1e3),
+        None => "n/a".to_string(),
+    };
     out.push_str("### Time per temperature\n\n");
-    out.push_str("| Temperature | Wall time (ms) | Share |\n|---|---:|---:|\n");
+    out.push_str(
+        "| Temperature | Wall time (ms) | p50 stage (ms) | p99 stage (ms) | Share |\n\
+         |---|---:|---:|---:|---:|\n",
+    );
     for (t, wall) in wall_by_temp.iter().enumerate() {
-        let _ = writeln!(out, "| t{t} | {wall:.1} | {:.1}% |", 100.0 * wall / total);
+        let _ = writeln!(
+            out,
+            "| t{t} | {wall:.1} | {} | {} | {:.1}% |",
+            q(&hist_by_temp[t], 0.50),
+            q(&hist_by_temp[t], 0.99),
+            100.0 * wall / total
+        );
     }
     out.push('\n');
 }
@@ -642,6 +665,113 @@ pub fn render_compare(cmp: &BenchComparison) -> String {
     out
 }
 
+/// Escapes a string for embedding in a JSON string literal.
+fn esc_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Converts loaded chain traces into Chrome Trace Event JSON (the
+/// `{"traceEvents": [...]}` object format), loadable in `chrome://tracing`
+/// and Perfetto — the `report --chrome-trace OUT.json` exporter.
+///
+/// Layout: one pid per table (sorted by name), one tid per
+/// `(cell, instance)` within the table (cells sorted by method/column, so
+/// replicas line up under their cell), each closed temperature stage as a
+/// `"ph":"X"` duration event named `t<temp>`. Trace files carry no
+/// absolute timestamps, so each tid's timeline is synthesized by
+/// accumulating its own stage walls from zero — stages within a chain are
+/// sequential, which is exactly what the chain executed. `ts`/`dur` are
+/// microseconds per the Trace Event format.
+pub fn chrome_trace_json(traces: &[CellTrace]) -> String {
+    let mut tables: Vec<&str> = traces.iter().map(|t| t.meta.key.table.as_str()).collect();
+    tables.sort_unstable();
+    tables.dedup();
+
+    let mut events: Vec<String> = Vec::new();
+    for (ti, table) in tables.iter().enumerate() {
+        let pid = ti + 1;
+        events.push(format!(
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            esc_json(table)
+        ));
+        let mut cells: Vec<&CellTrace> = traces
+            .iter()
+            .filter(|t| t.meta.key.table == *table)
+            .collect();
+        cells.sort_by(|a, b| {
+            (&a.meta.key.method, &a.meta.key.column).cmp(&(&b.meta.key.method, &b.meta.key.column))
+        });
+        let mut tid = 0usize;
+        for trace in cells {
+            let key = &trace.meta.key;
+            // Instance index → that chain's closed stages, in file order.
+            let mut instances: std::collections::BTreeMap<usize, Vec<&TraceEvent>> =
+                std::collections::BTreeMap::new();
+            for event in &trace.events {
+                if let TraceEvent::Temp { instance, .. } = event {
+                    instances.entry(*instance).or_default().push(event);
+                }
+            }
+            for (instance, stages) in instances {
+                tid += 1;
+                events.push(format!(
+                    "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\
+                     \"args\":{{\"name\":\"{} / {} #{instance}\"}}}}",
+                    esc_json(&key.method),
+                    esc_json(&key.column)
+                ));
+                let mut ts_us = 0f64;
+                for stage in stages {
+                    let TraceEvent::Temp {
+                        temp,
+                        evals,
+                        proposals,
+                        ended_by,
+                        temperature,
+                        wall_ms,
+                        ..
+                    } = stage
+                    else {
+                        unreachable!("only Temp events are collected");
+                    };
+                    let dur_us = if wall_ms.is_finite() {
+                        (wall_ms.max(0.0)) * 1e3
+                    } else {
+                        0.0
+                    };
+                    let temperature_arg = if temperature.is_finite() {
+                        format!(",\"temperature\":{temperature}")
+                    } else {
+                        String::new()
+                    };
+                    events.push(format!(
+                        "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts_us:.0},\
+                         \"dur\":{dur_us:.0},\"name\":\"t{temp}\",\"cat\":\"stage\",\
+                         \"args\":{{\"evals\":{evals},\"proposals\":{proposals},\
+                         \"ended_by\":\"{}\"{temperature_arg}}}}}",
+                        ended_by.as_str()
+                    ));
+                    ts_us += dur_us;
+                }
+            }
+        }
+    }
+    format!(
+        "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{}]}}",
+        events.join(",")
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -773,9 +903,52 @@ mod tests {
         let cells = vec![cell("table4.1", "g = 1", "6 sec", 2000.0)];
         let report = render_report(&checkpoint(cells), &traces);
         assert!(report.contains("### Time per temperature"), "{report}");
-        assert!(report.contains("| t0 | 3.5 | 100.0% |"), "{report}");
+        // 3.5 ms lands in the log-linear bucket whose lower bound is
+        // 3.328 ms, so both stage quantiles render as 3.33.
+        assert!(
+            report.contains("| t0 | 3.5 | 3.33 | 3.33 | 100.0% |"),
+            "{report}"
+        );
         assert!(report.contains("### Energy trajectories"), "{report}");
         assert!(report.contains("100 → 60"), "{report}");
+    }
+
+    #[test]
+    fn chrome_trace_exporter_matches_the_golden_output() {
+        let text = "{\"trace\":\"anneal-chain-trace\",\"version\":1,\"table\":\"table4.1\",\
+                    \"method\":\"g = 1\",\"column\":\"6 sec\",\"strategy\":\"Figure1\",\
+                    \"budget\":\"1500 evals\",\"base_seed\":1985}\n\
+                    {\"event\":\"temp\",\"instance\":0,\"temp\":0,\"evals\":10,\"proposals\":10,\
+                    \"accepted_downhill\":1,\"accepted_uphill\":1,\"rejected_uphill\":8,\
+                    \"ended_by\":\"budget\",\"wall_ms\":3.5}\n\
+                    {\"event\":\"temp\",\"instance\":0,\"temp\":1,\"evals\":20,\"proposals\":25,\
+                    \"accepted_downhill\":2,\"accepted_uphill\":0,\"rejected_uphill\":23,\
+                    \"temperature\":0.9,\"ended_by\":\"equilibrium\",\"wall_ms\":1.25}\n\
+                    {\"event\":\"temp\",\"instance\":1,\"temp\":0,\"evals\":5,\"proposals\":5,\
+                    \"accepted_downhill\":1,\"accepted_uphill\":0,\"rejected_uphill\":4,\
+                    \"ended_by\":\"budget\",\"wall_ms\":2}\n";
+        let traces = vec![trace::parse_str(text).unwrap()];
+        let json = chrome_trace_json(&traces);
+        let expected = concat!(
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[",
+            "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",",
+            "\"args\":{\"name\":\"table4.1\"}},",
+            "{\"ph\":\"M\",\"pid\":1,\"tid\":1,\"name\":\"thread_name\",",
+            "\"args\":{\"name\":\"g = 1 / 6 sec #0\"}},",
+            "{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":0,\"dur\":3500,\"name\":\"t0\",",
+            "\"cat\":\"stage\",\"args\":{\"evals\":10,\"proposals\":10,",
+            "\"ended_by\":\"budget\"}},",
+            "{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":3500,\"dur\":1250,\"name\":\"t1\",",
+            "\"cat\":\"stage\",\"args\":{\"evals\":20,\"proposals\":25,",
+            "\"ended_by\":\"equilibrium\",\"temperature\":0.9}},",
+            "{\"ph\":\"M\",\"pid\":1,\"tid\":2,\"name\":\"thread_name\",",
+            "\"args\":{\"name\":\"g = 1 / 6 sec #1\"}},",
+            "{\"ph\":\"X\",\"pid\":1,\"tid\":2,\"ts\":0,\"dur\":2000,\"name\":\"t0\",",
+            "\"cat\":\"stage\",\"args\":{\"evals\":5,\"proposals\":5,",
+            "\"ended_by\":\"budget\"}}",
+            "]}"
+        );
+        assert_eq!(json, expected);
     }
 
     #[test]

@@ -335,6 +335,9 @@ impl ArrangementSet {
             );
         }
         metrics::global().counter("runner.cells").inc();
+        // Phase timing for the ops plane: one histogram record when the
+        // guard drops at the end of the cell. Never inside chain loops.
+        let _cell_span = metrics::span("cell");
 
         // Replayed cells leave no trace file: nothing ran. A sink that
         // cannot open the cell's file degrades to an untraced cell rather
@@ -539,6 +542,15 @@ impl ArrangementSet {
                             reg.counter("trace.write_errors").inc();
                             eprintln!("trace: {e}");
                         }
+                        // Stage span timings from the walls the collector
+                        // already measured: recorded here at the instance
+                        // boundary, so the chain loop itself is untouched
+                        // (and untraced runs skip even this).
+                        let stages =
+                            reg.histogram_with(metrics::SPAN_METRIC, &[("phase", "stage")]);
+                        for stage in &trace.stages {
+                            stages.record(stage.wall.as_micros() as u64);
+                        }
                     }
                     let telemetry = RunTelemetry::capture(&result, elapsed);
                     Ok((result.reduction(), telemetry))
@@ -567,6 +579,7 @@ impl ArrangementSet {
         let Some(mode) = self.schedule else {
             return (budget, None);
         };
+        let _probe_span = metrics::span("probe");
         let mut probe_rng = StdRng::seed_from_u64(derive_seed(self.seed ^ PROBE_SALT, idx as u64));
         let stats = estimate_delta_stats(problem, adaptive::DEFAULT_PROBE_SAMPLES, &mut probe_rng);
         let derived = adaptive::derive(

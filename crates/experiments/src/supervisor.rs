@@ -173,6 +173,10 @@ pub struct Supervisor {
     /// Per-instance watchdog deadline, used to derive the wall-clock
     /// deadline for a whole worker.
     watchdog: Option<Duration>,
+    /// Live ops board: worker spawn/beat/exit, respawns and breaker
+    /// trips are mirrored there for `--serve` and the `--progress`
+    /// ticker. `None` keeps the supervisor observability-free.
+    ops: Option<std::sync::Arc<crate::ops::OpsBoard>>,
     state: Mutex<State>,
 }
 
@@ -265,8 +269,16 @@ impl Supervisor {
             breaker_threshold: breaker_threshold.max(1),
             seed: config.seed,
             watchdog: config.watchdog,
+            ops: None,
             state: Mutex::new(State::default()),
         })
+    }
+
+    /// Attaches a live ops board (builder style): worker lifecycle and
+    /// breaker state feed the `--serve` endpoints. `None` clears it.
+    pub fn with_ops(mut self, ops: Option<std::sync::Arc<crate::ops::OpsBoard>>) -> Self {
+        self.ops = ops;
+        self
     }
 
     fn lock(&self) -> MutexGuard<'_, State> {
@@ -376,6 +388,9 @@ impl Supervisor {
             if *count >= self.breaker_threshold {
                 state.open.insert(key.table.clone());
                 drop(state);
+                if let Some(board) = &self.ops {
+                    board.breaker_tripped(&key.table);
+                }
                 log.log_event(SupervisorEvent::new(
                     "breaker",
                     Some(key.clone()),
@@ -452,6 +467,9 @@ impl Supervisor {
             .stderr(std::process::Stdio::inherit())
             .spawn()
             .map_err(|e| format!("cannot spawn worker: {e}"))?;
+        if let Some(board) = &self.ops {
+            board.worker_spawned(slot, attempt > 0);
+        }
 
         // Heartbeat listener: any stdout line from the child counts as a
         // beat. The thread exits when the pipe closes (child exit or
@@ -488,6 +506,9 @@ impl Supervisor {
                     .lock()
                     .unwrap_or_else(PoisonError::into_inner)
                     .elapsed();
+                if let Some(board) = &self.ops {
+                    board.worker_beat(slot, beat_age);
+                }
                 if deadline.is_some_and(|d| started.elapsed() > d) {
                     killed = Some(KillReason::Deadline);
                 } else if beat_age > staleness {
@@ -501,6 +522,9 @@ impl Supervisor {
         };
         if let Some(handle) = reader {
             handle.join().ok();
+        }
+        if let Some(board) = &self.ops {
+            board.worker_exited(slot);
         }
 
         match killed {

@@ -479,6 +479,9 @@ pub struct TelemetryLog {
     /// runner delegates each cell to a worker process instead of running
     /// it in-process.
     supervisor: Option<Arc<crate::supervisor::Supervisor>>,
+    /// Live ops board (`--serve`, or `--progress` under process
+    /// isolation): notified at each cell boundary and on lost records.
+    ops: Option<Arc<crate::ops::OpsBoard>>,
 }
 
 struct Inner {
@@ -520,6 +523,7 @@ impl TelemetryLog {
             progress: None,
             filter: None,
             supervisor: None,
+            ops: None,
         }
     }
 
@@ -587,6 +591,14 @@ impl TelemetryLog {
         supervisor: Option<Arc<crate::supervisor::Supervisor>>,
     ) -> Self {
         self.supervisor = supervisor;
+        self
+    }
+
+    /// Attaches a live ops board (builder style): each recorded cell and
+    /// each lost record updates it, feeding the `--serve` endpoints and
+    /// the `--progress` worker-liveness fragment. `None` clears it.
+    pub fn with_ops(mut self, ops: Option<Arc<crate::ops::OpsBoard>>) -> Self {
+        self.ops = ops;
         self
     }
 
@@ -674,6 +686,25 @@ impl TelemetryLog {
         if let Some(p) = &self.progress {
             p.cell_done(record.ok(), record.attempts);
         }
+        if let Some(board) = &self.ops {
+            board.cell_done(&record.key.table, record.ok(), record.attempts);
+        }
+        // Labeled completion counters for the ops plane. Cell-boundary
+        // only (a few dozen updates per suite), never per proposal.
+        {
+            let registry = anneal_core::metrics::global();
+            let labels = [
+                ("table", record.key.table.as_str()),
+                ("method", record.key.method.as_str()),
+            ];
+            registry.counter_with("cells_completed", &labels).inc();
+            if !record.ok() {
+                registry.counter_with("cells_failed", &labels).inc();
+            }
+            if record.attempts > 1 {
+                registry.counter_with("cells_retried", &labels).inc();
+            }
+        }
         let mut inner = self.lock();
         // Every record consumes one sequence number, whether or not a
         // writer is attached — the supervisor peeks this counter to align
@@ -691,6 +722,9 @@ impl TelemetryLog {
                 eprintln!("telemetry: write failed for cell {}: {e}", record.key);
                 let key = record.key.clone();
                 inner.lost.push(key);
+                if let Some(board) = &self.ops {
+                    board.note_lost();
+                }
             }
         }
         inner.records.push(record);

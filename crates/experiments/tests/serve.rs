@@ -1,0 +1,183 @@
+//! End-to-end tests for the live ops plane, driving the real `repro`
+//! binary with `--serve 127.0.0.1:0` and scraping the HTTP endpoints
+//! mid-run over a plain `TcpStream`: `/metrics` serves Prometheus text
+//! exposition, `/healthz` answers 200 on a healthy run and flips to 503
+//! once a fault degrades the suite, and `/progress` reports cell counts
+//! and — under process isolation — per-worker heartbeat ages.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+/// The canonical tiny workload (42 roster cells); delay faults stretch it
+/// out so the suite is reliably still running while we scrape.
+const WORKLOAD: [&str; 5] = ["--scale", "2000", "--seed", "7", "table4.2b"];
+
+/// Spawns `repro --serve 127.0.0.1:0 <extra>` and returns the child plus
+/// the address the ops server actually bound (parsed from its stderr).
+fn spawn_serving(extra: &[&str]) -> (Child, String) {
+    let mut child = repro()
+        .args(WORKLOAD)
+        .args(["--serve", "127.0.0.1:0"])
+        .args(extra)
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn repro");
+    let stderr = child.stderr.take().expect("piped stderr");
+    let mut reader = BufReader::new(stderr);
+    let mut addr = None;
+    let mut line = String::new();
+    while reader.read_line(&mut line).expect("read repro stderr") > 0 {
+        if let Some(rest) = line.trim().strip_prefix("ops: serving on ") {
+            addr = Some(rest.to_string());
+            break;
+        }
+        line.clear();
+    }
+    let addr = addr.expect("repro never announced the ops address");
+    // Keep draining stderr so the child can never block on a full pipe.
+    std::thread::spawn(move || {
+        let mut sink = Vec::new();
+        let _ = reader.read_to_end(&mut sink);
+    });
+    (child, addr)
+}
+
+/// Minimal HTTP GET: returns (status code, full response text).
+fn http_get(addr: &str, path: &str) -> (u16, String) {
+    let stream = TcpStream::connect(addr).expect("connect ops server");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut stream = stream;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("malformed status line: {response}"));
+    (status, response)
+}
+
+/// Polls `path` until `accept` passes or the deadline expires.
+fn poll_until(addr: &str, path: &str, accept: impl Fn(u16, &str) -> bool) -> (u16, String) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (status, body) = http_get(addr, path);
+        if accept(status, &body) {
+            return (status, body);
+        }
+        assert!(
+            Instant::now() < deadline,
+            "gave up polling {path}; last response:\n{body}"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+fn finish(mut child: Child) {
+    let _ = child.kill();
+    let _ = child.wait();
+}
+
+#[test]
+fn serve_exposes_metrics_health_and_progress_mid_run() {
+    // delay=1: every instance sleeps 50 ms, so the suite takes well over
+    // a minute — it is still running for every scrape below.
+    let (child, addr) = spawn_serving(&["--faults", "seed=7,delay=1,delay_ms=50"]);
+
+    // /metrics becomes a non-trivial Prometheus exposition once the first
+    // cell completes.
+    let (status, metrics) = poll_until(&addr, "/metrics", |s, b| {
+        s == 200 && b.contains("suite_cells_done")
+    });
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains("text/plain; version=0.0.4"),
+        "wrong content type:\n{metrics}"
+    );
+    assert!(
+        metrics.contains("# TYPE suite_cells_done gauge"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("# TYPE cells_completed counter"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("cells_completed{method="),
+        "labeled counter families missing:\n{metrics}"
+    );
+
+    // A healthy run answers 200 ok.
+    let (status, health) = http_get(&addr, "/healthz");
+    assert_eq!(status, 200, "{health}");
+    assert!(health.ends_with("ok\n"), "{health}");
+
+    // /progress reports the roster size and live counts as JSON.
+    let (status, progress) = http_get(&addr, "/progress");
+    assert_eq!(status, 200, "{progress}");
+    assert!(progress.contains("\"expected\":42"), "{progress}");
+    assert!(progress.contains("\"done\":"), "{progress}");
+    assert!(progress.contains("\"degraded\":false"), "{progress}");
+
+    // Unknown paths 404 without taking the server down.
+    let (status, _) = http_get(&addr, "/nope");
+    assert_eq!(status, 404);
+    let (status, _) = http_get(&addr, "/metrics");
+    assert_eq!(status, 200);
+
+    finish(child);
+}
+
+#[test]
+fn healthz_flips_to_503_when_faults_degrade_the_suite() {
+    // Every instance is delayed then panics: cells fail one after another
+    // and the first failure must flip /healthz to 503 degraded.
+    let (child, addr) = spawn_serving(&["--faults", "seed=7,panic=1,delay=1,delay_ms=50"]);
+    let (status, body) = poll_until(&addr, "/healthz", |s, _| s == 503);
+    assert_eq!(status, 503);
+    assert!(body.contains("degraded"), "{body}");
+    assert!(body.contains("cell(s) failed"), "{body}");
+    finish(child);
+}
+
+#[test]
+fn progress_reports_worker_heartbeats_under_process_isolation() {
+    let (child, addr) = spawn_serving(&[
+        "--isolation",
+        "process",
+        "--faults",
+        "seed=7,delay=1,delay_ms=50",
+    ]);
+    // The supervisor publishes per-slot liveness once the first worker is
+    // up and heartbeating.
+    let (_, progress) = poll_until(&addr, "/progress", |s, b| {
+        s == 200 && b.contains("\"state\":\"live\"")
+    });
+    assert!(progress.contains("\"slot\":0"), "{progress}");
+    assert!(progress.contains("\"heartbeat_age_ms\":"), "{progress}");
+
+    // The same liveness shows up as labeled gauges on /metrics.
+    let (_, metrics) = poll_until(&addr, "/metrics", |s, b| {
+        s == 200 && b.contains("worker_heartbeat_age_ms")
+    });
+    assert!(
+        metrics.contains("worker_heartbeat_age_ms{slot=\"0\"}"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("workers_live"), "{metrics}");
+    finish(child);
+}

@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Prometheus text-exposition validator for the `/metrics` endpoint.
+
+Reads an exposition (a file argument, or stdin with `-`) and checks the
+text format 0.0.4 rules the in-process renderer promises:
+
+  * metric and label names match the Prometheus grammar;
+  * every sample is preceded by `# HELP` and `# TYPE` lines for its
+    family, each emitted exactly once, TYPE one of counter/gauge/histogram;
+  * label values escape `\\`, `"` and newlines;
+  * sample values parse as Prometheus numbers (including NaN/+Inf/-Inf);
+  * histogram families emit `_bucket`/`_sum`/`_count` series, bucket
+    counts are cumulative and monotone in `le`, and the mandatory
+    `le="+Inf"` bucket equals `_count`.
+
+Offline by design (CI must not depend on the network): this validates a
+scraped payload, it does not scrape. Exit status is 0 when the exposition
+is well-formed, 1 otherwise, with one `line N: message` diagnostic per
+violation.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# One label pair: name="value" with \\, \" and \n escapes allowed.
+LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\\n]|\\[\\"n])*)"')
+SAMPLE_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$")
+VALUE_RE = re.compile(r"^(NaN|[+-]Inf|[+-]?(\d+\.?\d*|\.\d+)([eE][+-]?\d+)?)$")
+VALID_TYPES = {"counter", "gauge", "histogram"}
+
+# A histogram family `h` owns series h_bucket / h_sum / h_count.
+HIST_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def family_of(name: str, types: dict) -> str:
+    """The family a sample belongs to (strips histogram suffixes)."""
+    for suffix in HIST_SUFFIXES:
+        base = name[: -len(suffix)]
+        if name.endswith(suffix) and types.get(base) == "histogram":
+            return base
+    return name
+
+
+def parse_labels(raw: str, lineno: int, errors: list) -> dict:
+    """Validates `{a="b",c="d"}` and returns the label dict."""
+    inner = raw[1:-1]
+    labels = {}
+    consumed = 0
+    for m in LABEL_PAIR_RE.finditer(inner):
+        if m.group(1) in labels:
+            errors.append(f"line {lineno}: duplicate label `{m.group(1)}`")
+        labels[m.group(1)] = m.group(2)
+        consumed += len(m.group(0))
+    # Everything besides the pairs must be separating commas.
+    leftovers = LABEL_PAIR_RE.sub("", inner).replace(",", "").strip()
+    if leftovers:
+        errors.append(f"line {lineno}: malformed label block `{{{inner}}}`")
+    return labels
+
+
+def check(text: str) -> list:
+    errors = []
+    helps: set = set()
+    types: dict = {}
+    # family -> {sorted-label-tuple-without-le -> [(le, count)]}
+    buckets: dict = {}
+    counts: dict = {}
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) < 3:
+                errors.append(f"line {lineno}: malformed HELP line")
+                continue
+            name = parts[2]
+            if name in helps:
+                errors.append(f"line {lineno}: duplicate HELP for `{name}`")
+            helps.add(name)
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in VALID_TYPES:
+                errors.append(f"line {lineno}: malformed TYPE line `{line}`")
+                continue
+            name = parts[2]
+            if name in types:
+                errors.append(f"line {lineno}: duplicate TYPE for `{name}`")
+            if name not in helps:
+                errors.append(f"line {lineno}: TYPE for `{name}` precedes its HELP")
+            types[name] = parts[3]
+            continue
+        if line.startswith("#"):
+            # Plain comments are legal and ignored.
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: unparseable sample `{line}`")
+            continue
+        name, raw_labels, value = m.group(1), m.group(2), m.group(3)
+        if not METRIC_NAME_RE.match(name):
+            errors.append(f"line {lineno}: bad metric name `{name}`")
+        if not VALUE_RE.match(value):
+            errors.append(f"line {lineno}: bad sample value `{value}`")
+        labels = parse_labels(raw_labels, lineno, errors) if raw_labels else {}
+        for label in labels:
+            if not LABEL_NAME_RE.match(label) or label == "__name__":
+                errors.append(f"line {lineno}: bad label name `{label}`")
+
+        family = family_of(name, types)
+        if family not in types:
+            errors.append(f"line {lineno}: sample `{name}` has no TYPE")
+            continue
+        if family not in helps:
+            errors.append(f"line {lineno}: sample `{name}` has no HELP")
+
+        if types[family] == "histogram" and name == family + "_bucket":
+            le = labels.get("le")
+            if le is None:
+                errors.append(f"line {lineno}: `{name}` bucket without `le`")
+                continue
+            key = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+            buckets.setdefault(family, {}).setdefault(key, []).append(
+                (lineno, le, float(value))
+            )
+        if types[family] == "histogram" and name == family + "_count":
+            key = tuple(sorted(labels.items()))
+            counts[(family, key)] = float(value)
+
+    for family, series in buckets.items():
+        for key, rows in series.items():
+            inf = None
+            prev = None
+            for lineno, le, count in rows:
+                if prev is not None and count < prev:
+                    errors.append(
+                        f"line {lineno}: `{family}_bucket` counts not "
+                        f"cumulative at le=\"{le}\""
+                    )
+                prev = count
+                if le == "+Inf":
+                    inf = count
+            if inf is None:
+                errors.append(f"`{family}` histogram is missing its le=\"+Inf\" bucket")
+            elif counts.get((family, key)) != inf:
+                errors.append(
+                    f"`{family}` +Inf bucket ({inf:g}) != _count "
+                    f"({counts.get((family, key))})"
+                )
+    return errors
+
+
+def main(argv: list) -> int:
+    if len(argv) != 1:
+        print("usage: check_prometheus.py FILE|-", file=sys.stderr)
+        return 2
+    text = sys.stdin.read() if argv[0] == "-" else Path(argv[0]).read_text()
+    if not text.strip():
+        print("error: empty exposition", file=sys.stderr)
+        return 1
+    errors = check(text)
+    for err in errors:
+        print(err, file=sys.stderr)
+    if errors:
+        print(f"{len(errors)} exposition violation(s)", file=sys.stderr)
+        return 1
+    families = len(re.findall(r"(?m)^# TYPE ", text))
+    print(f"exposition ok: {families} metric familie(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
