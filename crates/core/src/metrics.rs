@@ -268,6 +268,13 @@ impl Span {
             started: Instant::now(),
         }
     }
+
+    fn enter_into(registry: &Registry, metric: &str, labels: &[(&str, &str)]) -> Self {
+        Span {
+            hist: registry.histogram_with(metric, labels),
+            started: Instant::now(),
+        }
+    }
 }
 
 impl Drop for Span {
@@ -380,6 +387,16 @@ impl Registry {
     /// `span_wall_us{phase="<name>"}` histogram on drop.
     pub fn span(&self, name: &str) -> Span {
         Span::enter(self, name)
+    }
+
+    /// An RAII wall timer recording into an arbitrary histogram family of
+    /// this registry — the same guard as [`Registry::span`] but with the
+    /// metric name and label set chosen by the caller, for subsystems
+    /// whose timings deserve their own family (the job server records
+    /// `job_wall_us{problem="..."}` rather than overloading
+    /// [`SPAN_METRIC`]'s `phase` label). Samples are microseconds.
+    pub fn span_into(&self, metric: &str, labels: &[(&str, &str)]) -> Span {
+        Span::enter_into(self, metric, labels)
     }
 
     /// Serializes every metric as one JSON object (schema
@@ -833,6 +850,21 @@ mod tests {
         assert_eq!(h.count(), 2);
         assert_eq!(
             r.histogram_with(SPAN_METRIC, &[("phase", "merge")]).count(),
+            0
+        );
+    }
+
+    #[test]
+    fn span_into_records_into_a_caller_chosen_family() {
+        let r = Registry::new();
+        {
+            let _guard = r.span_into("job_wall_us", &[("problem", "gola")]);
+        }
+        let h = r.histogram_with("job_wall_us", &[("problem", "gola")]);
+        assert_eq!(h.count(), 1);
+        // The default span family is untouched.
+        assert_eq!(
+            r.histogram_with(SPAN_METRIC, &[("phase", "gola")]).count(),
             0
         );
     }

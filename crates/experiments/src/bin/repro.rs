@@ -85,15 +85,32 @@
 //! failure manifest is written next to the WAL in that case. A run ended
 //! by SIGINT/SIGTERM drains its in-flight work, leaves a clean resumable
 //! WAL, and exits 128 + signal (130 / 143).
+//!
+//! SUBCOMMANDS:
+//!   repro serve ADDR [--queue N] [--job-threads N] [--journal PATH]
+//!                     run the annealing job server: the ops endpoints
+//!                     above plus POST /jobs, GET /jobs, GET /jobs/:id and
+//!                     DELETE /jobs/:id (bounded queue, 429 backpressure,
+//!                     crash-safe job journal; see EXPERIMENTS.md "Job
+//!                     server"). Drains on SIGINT/SIGTERM, exits
+//!                     128 + signal
+//!   repro job SPEC.json
+//!                     execute one job spec offline and print its result
+//!                     record to stdout — byte-identical to the record the
+//!                     server stores for the same spec. Exits 5 when the
+//!                     job ends failed or cancelled
 //! ```
 
 use std::process::ExitCode;
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
+use std::time::Duration;
 
 use anneal_experiments::{
     ablation, checkpoint, cli, diagnostics, exit_codes, ext_partition, ext_tsp, full_roster,
-    progress, supervisor, tables, trajectory, tuning, ChaosWriter, FaultPlan, OpsBoard, OpsServer,
-    Progress, SuiteConfig, Supervisor, SupervisorEvent, Table, TelemetryLog, TraceSink, TunedY,
+    progress, supervisor, tables, trajectory, tuning, ChaosWriter, FaultPlan, JobOutcome,
+    JobServer, JobSpec, OpsBoard, OpsServer, Progress, SuiteConfig, Supervisor, SupervisorEvent,
+    Table, TelemetryLog, TraceSink, TunedY,
 };
 
 fn main() -> ExitCode {
@@ -111,6 +128,11 @@ fn main() -> ExitCode {
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let parsed = cli::parse(args)?;
+    match &parsed.command {
+        Some(cli::Command::Serve(opts)) => return run_serve(opts),
+        Some(cli::Command::Job(path)) => return run_job(path),
+        None => {}
+    }
 
     // The CLI flag wins over the environment so a chaos run can be narrowed
     // from a shell that exports ANNEAL_FAULTS globally.
@@ -304,6 +326,62 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         return Ok(ExitCode::from(exit_codes::DEGRADED));
     }
     Ok(ExitCode::SUCCESS)
+}
+
+/// `repro serve`: the annealing job-server daemon. Binds the ops plane
+/// with the job API attached, then idles until a SIGINT/SIGTERM drain:
+/// in-flight jobs finish, queued jobs stay journaled for the next start,
+/// and the process exits `128 + signal` like a drained suite run.
+fn run_serve(opts: &cli::ServeOpts) -> Result<ExitCode, String> {
+    supervisor::signals::install();
+    let jobs = Arc::new(JobServer::start(
+        opts.job_threads,
+        opts.queue,
+        opts.journal.as_deref(),
+    )?);
+    let board = OpsBoard::new(None);
+    let server = OpsServer::start_with_jobs(&opts.addr, board, Some(Arc::clone(&jobs)))?;
+    eprintln!("ops: serving on {}", server.local_addr());
+    if let Some(path) = &opts.journal {
+        let queued = jobs.queued();
+        if queued > 0 {
+            eprintln!("serve: journal {path}: re-queued {queued} unfinished job(s)");
+        }
+    }
+    while !supervisor::signals::draining() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let sig = supervisor::signals::shutdown_signal().unwrap_or(exit_codes::SIGTERM);
+    eprintln!(
+        "serve: signal {sig}: draining in-flight jobs; queued jobs stay journaled \
+         for the next start"
+    );
+    jobs.shutdown();
+    drop(server);
+    Ok(ExitCode::from(exit_codes::for_signal(sig)))
+}
+
+/// `repro job SPEC.json`: execute one job spec offline and print the
+/// result record — the determinism contract's other half: these bytes are
+/// identical to the `record` the server stores for the same spec.
+fn run_job(path: &str) -> Result<ExitCode, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read job spec `{path}`: {e}"))?;
+    let spec = JobSpec::parse(&text).map_err(|e| format!("job spec `{path}`: {e}"))?;
+    match spec.execute(&AtomicBool::new(false)) {
+        JobOutcome::Done { record } => {
+            println!("{record}");
+            Ok(ExitCode::SUCCESS)
+        }
+        JobOutcome::Failed { error } => {
+            eprintln!("job failed: {error}");
+            Ok(ExitCode::from(exit_codes::JOB_FAILED))
+        }
+        JobOutcome::Cancelled => {
+            eprintln!("job cancelled");
+            Ok(ExitCode::from(exit_codes::JOB_FAILED))
+        }
+    }
 }
 
 /// The hidden `--worker-cell` mode: this process is a supervisor child.

@@ -131,40 +131,52 @@ pub fn load(path: &str) -> Result<Checkpoint, String> {
 
 /// [`load`] on in-memory WAL text.
 pub fn load_str(text: &str) -> Result<Checkpoint, String> {
-    let lines: Vec<&str> = text.lines().collect();
     let mut checkpoint = Checkpoint {
         meta: None,
         cells: Vec::new(),
         events: Vec::new(),
         torn: false,
     };
+    checkpoint.torn = scan_wal_lines(text, |i, value| {
+        if i == 0 && value.get("wal").is_some() {
+            checkpoint.meta = Some(meta_from_json(value)?);
+        } else if value.get("sup").is_some() {
+            checkpoint.events.push(event_from_json(value)?);
+        } else {
+            checkpoint.cells.push(record_from_json(value)?);
+        }
+        Ok(())
+    })?;
+    Ok(checkpoint)
+}
+
+/// The torn-line-tolerant scan every WAL-disciplined log in the workspace
+/// shares (the telemetry WAL here, the job journal in
+/// [`jobs`](crate::jobs)): parse each non-empty line as JSON and hand it —
+/// with its 0-based line index — to `visit`. A parse or visit failure on
+/// the *final* line is the expected signature of a killed writer: the line
+/// is dropped and the scan reports `Ok(true)` (torn). A failure anywhere
+/// earlier means real corruption and becomes an `Err` naming the 1-based
+/// line.
+pub fn scan_wal_lines<F>(text: &str, mut visit: F) -> Result<bool, String>
+where
+    F: FnMut(usize, &Json) -> Result<(), String>,
+{
+    let lines: Vec<&str> = text.lines().collect();
     let n = lines.len();
+    let mut torn = false;
     for (i, line) in lines.iter().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
         let last = i + 1 == n;
-        let parsed: Result<(), String> = (|| {
-            let value = Json::parse(line)?;
-            if i == 0 && value.get("wal").is_some() {
-                checkpoint.meta = Some(meta_from_json(&value)?);
-            } else if value.get("sup").is_some() {
-                checkpoint.events.push(event_from_json(&value)?);
-            } else {
-                checkpoint.cells.push(record_from_json(&value)?);
-            }
-            Ok(())
-        })();
-        match parsed {
+        match Json::parse(line).and_then(|value| visit(i, &value)) {
             Ok(()) => {}
-            // A torn final line is the expected signature of a killed run;
-            // drop it (the cell will simply be re-run). Anything earlier
-            // means real corruption.
-            Err(_) if last => checkpoint.torn = true,
+            Err(_) if last => torn = true,
             Err(e) => return Err(format!("corrupt record at line {}: {e}", i + 1)),
         }
     }
-    Ok(checkpoint)
+    Ok(torn)
 }
 
 fn meta_from_json(v: &Json) -> Result<WalMeta, String> {
@@ -500,6 +512,16 @@ impl Json {
     pub fn as_arr(&self) -> Option<&[Json]> {
         match self {
             Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The fields in insertion order, if this is an object. Strict parsers
+    /// (the job-spec parser) walk this to reject unknown keys instead of
+    /// silently ignoring a client's typo.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
             _ => None,
         }
     }

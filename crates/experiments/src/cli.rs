@@ -38,7 +38,36 @@ pub const USAGE: &str = "usage: repro [--scale N] [--seed N] [--csv] [--threads 
      [--telemetry PATH] [--resume WAL] [--trace DIR] [--metrics PATH] \
      [--progress] [--faults SPEC] [--retries N] [--backoff-ms N] \
      [--watchdog-ms N] [--isolation thread|process] [--heartbeat-ms N] \
-     [--breaker-threshold N] [--serve ADDR] <experiment>...";
+     [--breaker-threshold N] [--serve ADDR] <experiment>...\n       \
+     repro serve ADDR [--queue N] [--job-threads N] [--journal PATH]\n       \
+     repro job SPEC.json";
+
+/// `repro serve` options: the job-server daemon mode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeOpts {
+    /// Address to bind (`HOST:PORT`; port 0 picks a free port).
+    pub addr: String,
+    /// Bounded submission-queue capacity (`--queue`); a full queue answers
+    /// `429` until workers drain it.
+    pub queue: usize,
+    /// Job worker threads (`--job-threads`).
+    pub job_threads: usize,
+    /// WAL-style job journal path (`--journal`); accepted jobs survive a
+    /// restart when set.
+    pub journal: Option<String>,
+}
+
+/// A `repro` subcommand (the first positional argument when it is
+/// `serve` or `job`; absent for the classic experiment-suite invocation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `repro serve ADDR ...`: run the annealing job server until a
+    /// SIGINT/SIGTERM drain.
+    Serve(ServeOpts),
+    /// `repro job SPEC.json`: execute one job spec offline and print its
+    /// result record — byte-identical to what the server would store.
+    Job(String),
+}
 
 /// The `--strategy` spellings `repro` accepts.
 pub const STRATEGIES: [&str; 4] = ["figure1", "figure2", "rejectionless", "replica-exchange"];
@@ -113,12 +142,108 @@ pub struct Cli {
     /// Hidden worker mode (`--worker-cell` et al.), set only when this
     /// process is a supervisor child.
     pub worker: Option<WorkerSpec>,
-    /// Experiments to run, `all` already expanded.
+    /// Experiments to run, `all` already expanded (empty under a
+    /// subcommand).
     pub experiments: Vec<String>,
+    /// Subcommand (`serve` / `job`); `None` runs the experiment suite.
+    pub command: Option<Command>,
+}
+
+/// A [`Cli`] carrying only a subcommand (suite fields at their defaults).
+fn command_cli(command: Command) -> Cli {
+    Cli {
+        config: SuiteConfig::paper(),
+        csv: false,
+        telemetry: None,
+        resume: None,
+        trace: None,
+        metrics: None,
+        progress: false,
+        serve: None,
+        faults: None,
+        isolation: Isolation::default(),
+        heartbeat: supervisor::DEFAULT_HEARTBEAT,
+        breaker_threshold: supervisor::DEFAULT_BREAKER_THRESHOLD,
+        worker: None,
+        experiments: Vec::new(),
+        command: Some(command),
+    }
+}
+
+/// Parses `repro serve ADDR [--queue N] [--job-threads N] [--journal
+/// PATH]`.
+fn parse_serve(args: &[String]) -> Result<Cli, String> {
+    let mut addr: Option<String> = None;
+    let mut queue = crate::jobs::DEFAULT_QUEUE_CAPACITY;
+    let mut job_threads = crate::jobs::DEFAULT_JOB_THREADS;
+    let mut journal: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_of = |flag: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--queue" => {
+                let v = value_of("--queue")?;
+                let n: usize = v.parse().map_err(|_| format!("bad --queue value `{v}`"))?;
+                if n == 0 {
+                    return Err("--queue must be positive".into());
+                }
+                queue = n;
+            }
+            "--job-threads" => {
+                let v = value_of("--job-threads")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("bad --job-threads value `{v}`"))?;
+                if n == 0 {
+                    return Err("--job-threads must be positive".into());
+                }
+                job_threads = n;
+            }
+            "--journal" => journal = Some(value_of("--journal")?.clone()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown serve option `{other}`"));
+            }
+            positional => {
+                if addr.is_some() {
+                    return Err(format!("serve takes one ADDR, got extra `{positional}`"));
+                }
+                if !positional.contains(':') {
+                    return Err(format!(
+                        "bad serve address `{positional}` (expected HOST:PORT, e.g. \
+                         127.0.0.1:9090)"
+                    ));
+                }
+                addr = Some(positional.to_string());
+            }
+        }
+    }
+    let addr = addr.ok_or_else(|| "serve needs an ADDR (e.g. 127.0.0.1:9090)".to_string())?;
+    Ok(command_cli(Command::Serve(ServeOpts {
+        addr,
+        queue,
+        job_threads,
+        journal,
+    })))
+}
+
+/// Parses `repro job SPEC.json`.
+fn parse_job(args: &[String]) -> Result<Cli, String> {
+    match args {
+        [path] if !path.starts_with('-') => Ok(command_cli(Command::Job(path.clone()))),
+        [] => Err("job needs a SPEC.json path".into()),
+        _ => Err("job takes exactly one SPEC.json path".into()),
+    }
 }
 
 /// Parses `repro` arguments (everything after the program name).
 pub fn parse(args: &[String]) -> Result<Cli, String> {
+    match args.first().map(String::as_str) {
+        Some("serve") => return parse_serve(&args[1..]),
+        Some("job") => return parse_job(&args[1..]),
+        _ => {}
+    }
     let mut config = SuiteConfig::paper();
     let mut csv = false;
     let mut telemetry: Option<String> = None;
@@ -416,6 +541,7 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
         breaker_threshold,
         worker,
         experiments,
+        command: None,
     })
 }
 
@@ -702,5 +828,67 @@ mod tests {
     fn all_expands_in_canonical_order() {
         let cli = parse(&args("--scale 2 all")).unwrap();
         assert_eq!(cli.experiments, EXPERIMENTS.to_vec());
+        assert_eq!(cli.command, None);
+    }
+
+    #[test]
+    fn serve_subcommand_parses_with_defaults() {
+        let cli = parse(&args("serve 127.0.0.1:0")).unwrap();
+        let Some(Command::Serve(opts)) = cli.command else {
+            panic!("expected serve command, got {:?}", cli.command);
+        };
+        assert_eq!(opts.addr, "127.0.0.1:0");
+        assert_eq!(opts.queue, crate::jobs::DEFAULT_QUEUE_CAPACITY);
+        assert_eq!(opts.job_threads, crate::jobs::DEFAULT_JOB_THREADS);
+        assert_eq!(opts.journal, None);
+        assert!(cli.experiments.is_empty());
+
+        let cli = parse(&args(
+            "serve 0.0.0.0:8080 --queue 3 --job-threads 4 --journal jobs.wal",
+        ))
+        .unwrap();
+        let Some(Command::Serve(opts)) = cli.command else {
+            panic!("expected serve command");
+        };
+        assert_eq!(opts.addr, "0.0.0.0:8080");
+        assert_eq!(opts.queue, 3);
+        assert_eq!(opts.job_threads, 4);
+        assert_eq!(opts.journal.as_deref(), Some("jobs.wal"));
+    }
+
+    #[test]
+    fn serve_subcommand_misuse_is_rejected() {
+        assert!(parse(&args("serve")).unwrap_err().contains("needs an ADDR"));
+        assert!(parse(&args("serve 9090"))
+            .unwrap_err()
+            .contains("expected HOST:PORT"));
+        assert!(parse(&args("serve 127.0.0.1:0 10.0.0.1:0"))
+            .unwrap_err()
+            .contains("one ADDR"));
+        assert!(parse(&args("serve 127.0.0.1:0 --queue 0"))
+            .unwrap_err()
+            .contains("--queue must be positive"));
+        assert!(parse(&args("serve 127.0.0.1:0 --job-threads 0"))
+            .unwrap_err()
+            .contains("--job-threads must be positive"));
+        assert!(parse(&args("serve 127.0.0.1:0 --journal"))
+            .unwrap_err()
+            .contains("needs a value"));
+        assert!(parse(&args("serve 127.0.0.1:0 --csv"))
+            .unwrap_err()
+            .contains("unknown serve option"));
+    }
+
+    #[test]
+    fn job_subcommand_parses_one_spec_path() {
+        let cli = parse(&args("job spec.json")).unwrap();
+        assert_eq!(cli.command, Some(Command::Job("spec.json".into())));
+        assert!(parse(&args("job")).unwrap_err().contains("needs a SPEC"));
+        assert!(parse(&args("job a.json b.json"))
+            .unwrap_err()
+            .contains("exactly one"));
+        assert!(parse(&args("job --csv"))
+            .unwrap_err()
+            .contains("exactly one"));
     }
 }

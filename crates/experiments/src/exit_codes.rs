@@ -23,6 +23,10 @@ pub const BENCH_REGRESSION: u8 = 3;
 /// (the supervisor treats this as a retryable process failure).
 pub const WORKER_NO_RECORD: u8 = 4;
 
+/// `repro job SPEC.json` executed the job but it ended failed or
+/// cancelled instead of done.
+pub const JOB_FAILED: u8 = 5;
+
 /// `SIGINT` signal number (used with [`for_signal`]).
 pub const SIGINT: i32 = 2;
 
@@ -41,7 +45,14 @@ mod tests {
 
     #[test]
     fn codes_are_distinct_and_conventional() {
-        let codes = [OK, USAGE, DEGRADED, BENCH_REGRESSION, WORKER_NO_RECORD];
+        let codes = [
+            OK,
+            USAGE,
+            DEGRADED,
+            BENCH_REGRESSION,
+            WORKER_NO_RECORD,
+            JOB_FAILED,
+        ];
         for (i, a) in codes.iter().enumerate() {
             for b in &codes[i + 1..] {
                 assert_ne!(a, b);

@@ -46,6 +46,7 @@ pub mod ext_partition;
 pub mod ext_tsp;
 pub mod faults;
 mod instances;
+pub mod jobs;
 pub mod ops;
 pub mod progress;
 pub mod reporting;
@@ -67,6 +68,7 @@ pub use checkpoint::{Checkpoint, WalMeta};
 pub use config::SuiteConfig;
 pub use faults::{ChaosWriter, FaultPlan};
 pub use instances::{gola_paper_set, nola_paper_set, DEFAULT_SEED, NOLA_PIN_RANGE};
+pub use jobs::{JobOutcome, JobServer, JobSpec, JobState};
 pub use ops::{OpsBoard, OpsServer};
 pub use progress::Progress;
 pub use roster::{

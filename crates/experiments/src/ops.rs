@@ -18,6 +18,13 @@
 //!     worker liveness (heartbeat ages), and an ETA from the same
 //!     estimator the `--progress` ticker uses.
 //!
+//! Under `repro serve` the same server additionally routes the job API
+//! (`POST /jobs`, `GET /jobs`, `GET /jobs/:id`, `DELETE /jobs/:id`) to a
+//! [`crate::jobs::JobServer`] — see [`crate::jobs`] for the
+//! queueing, journaling and determinism contracts. Without a job server
+//! attached ([`OpsServer::start`]) those paths answer `404` with a JSON
+//! error body.
+//!
 //! Both are created only when `--serve` (or, for the board, `--progress`
 //! under process isolation) is on: with the flags absent nothing binds,
 //! nothing is shared, and results stay bitwise-identical. Updates happen
@@ -33,7 +40,12 @@ use std::time::{Duration, Instant};
 
 use anneal_core::metrics;
 
+use crate::jobs::JobServer;
 use crate::supervisor::signals;
+
+/// Largest request body `POST /jobs` accepts (a generous bound for an
+/// inline netlist; anything larger is a `413`).
+const MAX_BODY: usize = 1 << 20;
 
 /// A supervised worker slot's lifecycle state, as shown by `/progress`
 /// and the `--progress` ticker.
@@ -414,8 +426,19 @@ impl std::fmt::Debug for OpsServer {
 
 impl OpsServer {
     /// Binds `addr` (e.g. `127.0.0.1:9090`; port 0 picks a free port) and
-    /// starts serving `board` in a background thread.
+    /// starts serving `board` in a background thread. The job API is off;
+    /// `/jobs` paths answer `404`.
     pub fn start(addr: &str, board: Arc<OpsBoard>) -> Result<OpsServer, String> {
+        Self::start_with_jobs(addr, board, None)
+    }
+
+    /// [`start`](OpsServer::start), plus the job API routed to `jobs`
+    /// (the `repro serve` daemon mode).
+    pub fn start_with_jobs(
+        addr: &str,
+        board: Arc<OpsBoard>,
+        jobs: Option<Arc<JobServer>>,
+    ) -> Result<OpsServer, String> {
         let listener =
             TcpListener::bind(addr).map_err(|e| format!("--serve: cannot bind {addr}: {e}"))?;
         let local = listener
@@ -430,7 +453,7 @@ impl OpsServer {
             std::thread::spawn(move || {
                 while !stop.load(Ordering::Relaxed) {
                     match listener.accept() {
-                        Ok((stream, _)) => handle(stream, &board),
+                        Ok((stream, _)) => handle(stream, &board, jobs.as_deref()),
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                             std::thread::sleep(Duration::from_millis(20));
                         }
@@ -461,36 +484,102 @@ impl Drop for OpsServer {
     }
 }
 
+/// The HTTP reason phrase for the status codes the ops plane emits.
+fn status_line(status: u16) -> String {
+    let reason = match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    };
+    format!("{status} {reason}")
+}
+
+/// Reads one request off `stream`: request line, headers, and (for the
+/// job API) up to `Content-Length` bytes of body, bounded by [`MAX_BODY`].
+/// Returns `(method, path, body)`; `Err(413)` when the declared body is
+/// oversized, `Err(400)` on an unreadable request.
+fn read_request(stream: &mut TcpStream) -> Result<(String, String, String), u16> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    let header_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos + 4;
+        }
+        if buf.len() > 16 * 1024 {
+            return Err(400);
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(400),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => return Err(400),
+        }
+    };
+    let head = String::from_utf8_lossy(&buf[..header_end]).into_owned();
+    let mut parts = head.split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let path = parts.next().unwrap_or("").to_string();
+    let content_length = head
+        .lines()
+        .find_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            name.eq_ignore_ascii_case("content-length")
+                .then(|| value.trim().parse::<usize>().ok())?
+        })
+        .unwrap_or(0);
+    if content_length > MAX_BODY {
+        return Err(413);
+    }
+    let mut body = buf[header_end..].to_vec();
+    while body.len() < content_length {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(_) => return Err(400),
+        }
+    }
+    body.truncate(content_length);
+    Ok((method, path, String::from_utf8_lossy(&body).into_owned()))
+}
+
 /// Serves one request on `stream`. Any parse or I/O problem just drops
 /// the connection — the ops plane must never take down the run.
-fn handle(stream: TcpStream, board: &OpsBoard) {
+fn handle(stream: TcpStream, board: &OpsBoard, jobs: Option<&JobServer>) {
     let mut stream = stream;
     stream.set_nonblocking(false).ok();
     stream
         .set_read_timeout(Some(Duration::from_millis(500)))
         .ok();
-    // Read until the end of the request headers (we never expect a body).
-    let mut buf = Vec::with_capacity(512);
-    let mut chunk = [0u8; 512];
-    loop {
-        match stream.read(&mut chunk) {
-            Ok(0) => break,
-            Ok(n) => {
-                buf.extend_from_slice(&chunk[..n]);
-                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
-                    break;
-                }
-            }
-            Err(_) => return,
+    let (method, path, request_body) = match read_request(&mut stream) {
+        Ok(parsed) => parsed,
+        Err(status) => {
+            let body = if status == 413 {
+                "{\"error\":\"request body too large\"}"
+            } else {
+                "{\"error\":\"bad request\"}"
+            };
+            respond(
+                &mut stream,
+                &status_line(status),
+                "application/json; charset=utf-8",
+                body,
+            );
+            return;
         }
-    }
-    let request = String::from_utf8_lossy(&buf);
-    let mut parts = request.split_whitespace();
-    let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("");
-    let (status, content_type, body) = match (method, path) {
+    };
+    const JSON: &str = "application/json; charset=utf-8";
+    const TEXT: &str = "text/plain; charset=utf-8";
+    let job_id = path.strip_prefix("/jobs/");
+    let (list_path, query) = path.split_once('?').unwrap_or((path.as_str(), ""));
+    let (status, content_type, body) = match (method.as_str(), path.as_str()) {
         ("GET", "/metrics") => (
-            "200 OK",
+            "200 OK".to_string(),
             "text/plain; version=0.0.4; charset=utf-8",
             metrics::global().render_prometheus(),
         ),
@@ -501,24 +590,34 @@ fn handle(stream: TcpStream, board: &OpsBoard) {
             } else {
                 "200 OK"
             };
-            (status, "text/plain; charset=utf-8", body)
+            (status.to_string(), TEXT, body)
         }
-        ("GET", "/progress") => (
-            "200 OK",
-            "application/json; charset=utf-8",
-            board.progress_json(),
-        ),
-        ("GET", _) => (
-            "404 Not Found",
-            "text/plain; charset=utf-8",
-            "not found\n".into(),
-        ),
-        _ => (
-            "405 Method Not Allowed",
-            "text/plain; charset=utf-8",
-            "method not allowed\n".into(),
-        ),
+        ("GET", "/progress") => ("200 OK".to_string(), JSON, board.progress_json()),
+        // The job API: delegate verb by verb, JSON all the way down.
+        _ if list_path == "/jobs" || job_id.is_some() => match jobs {
+            None => (
+                status_line(404),
+                JSON,
+                "{\"error\":\"job API not enabled; run `repro serve`\"}".to_string(),
+            ),
+            Some(jobs) => {
+                let (status, body) = match (method.as_str(), job_id) {
+                    ("POST", None) if query.is_empty() => jobs.submit(&request_body),
+                    ("GET", None) => jobs.list(query),
+                    ("GET", Some(id)) => jobs.get(id),
+                    ("DELETE", Some(id)) => jobs.cancel(id),
+                    _ => (405, "{\"error\":\"method not allowed\"}".to_string()),
+                };
+                (status_line(status), JSON, body)
+            }
+        },
+        ("GET", _) => (status_line(404), TEXT, "not found\n".into()),
+        _ => (status_line(405), TEXT, "method not allowed\n".into()),
     };
+    respond(&mut stream, &status, content_type, &body);
+}
+
+fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
     let response = format!(
         "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
          Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
@@ -533,8 +632,21 @@ mod tests {
     use super::*;
 
     fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        request(addr, "GET", path, None)
+    }
+
+    fn request(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (String, String) {
         let mut stream = TcpStream::connect(addr).expect("connect");
-        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        match body {
+            Some(body) => write!(
+                stream,
+                "{method} {path} HTTP/1.1\r\nHost: x\r\nContent-Type: application/json\r\n\
+                 Content-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .unwrap(),
+            None => write!(stream, "{method} {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap(),
+        }
         let mut response = String::new();
         stream.read_to_string(&mut response).expect("read");
         let (head, body) = response.split_once("\r\n\r\n").expect("header split");
@@ -614,5 +726,73 @@ mod tests {
         let (status, body) = get(addr, "/healthz");
         assert_eq!(status, "HTTP/1.1 503 Service Unavailable");
         assert!(body.starts_with("degraded:"), "{body}");
+    }
+
+    #[test]
+    fn jobs_paths_answer_404_without_a_job_server() {
+        let board = OpsBoard::new(None);
+        let server = OpsServer::start("127.0.0.1:0", board).expect("bind");
+        let addr = server.local_addr();
+        for (method, path) in [
+            ("POST", "/jobs"),
+            ("GET", "/jobs"),
+            ("GET", "/jobs/1"),
+            ("DELETE", "/jobs/1"),
+        ] {
+            let (status, body) = request(addr, method, path, Some("{}"));
+            assert_eq!(status, "HTTP/1.1 404 Not Found", "{method} {path}");
+            assert!(body.contains("job API not enabled"), "{body}");
+        }
+    }
+
+    #[test]
+    fn jobs_api_routes_end_to_end_over_http() {
+        let board = OpsBoard::new(None);
+        let jobs = Arc::new(crate::jobs::JobServer::start(1, 4, None).expect("jobs"));
+        let server = OpsServer::start_with_jobs("127.0.0.1:0", board, Some(jobs)).expect("bind");
+        let addr = server.local_addr();
+
+        let spec = "{\"problem\":\"gola\",\"instances\":1,\"scale\":2000}";
+        let (status, body) = request(addr, "POST", "/jobs", Some(spec));
+        assert_eq!(status, "HTTP/1.1 202 Accepted", "{body}");
+        assert!(body.contains("\"id\":1"), "{body}");
+
+        let (status, body) = request(addr, "POST", "/jobs", Some("{\"problem\":\"warp\"}"));
+        assert_eq!(status, "HTTP/1.1 400 Bad Request");
+        assert!(body.contains("error"), "{body}");
+
+        let deadline = std::time::Instant::now() + Duration::from_secs(60);
+        loop {
+            let (status, body) = get(addr, "/jobs/1");
+            assert_eq!(status, "HTTP/1.1 200 OK");
+            if body.contains("\"state\":\"done\"") {
+                break;
+            }
+            assert!(
+                !body.contains("\"state\":\"failed\"") && std::time::Instant::now() < deadline,
+                "{body}"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+
+        let (status, body) = get(addr, "/jobs?limit=1");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert!(body.contains("\"total\":"), "{body}");
+
+        let (status, _) = get(addr, "/jobs/99");
+        assert_eq!(status, "HTTP/1.1 404 Not Found");
+
+        let (status, body) = request(addr, "DELETE", "/jobs/1", None);
+        assert_eq!(status, "HTTP/1.1 409 Conflict", "{body}");
+
+        let (status, _) = request(addr, "PATCH", "/jobs/1", None);
+        assert_eq!(status, "HTTP/1.1 405 Method Not Allowed");
+
+        // `jobs_state` gauges ride the shared exposition.
+        let (_, metrics_body) = get(addr, "/metrics");
+        assert!(
+            metrics_body.contains("jobs_state{state=\"done\"}"),
+            "{metrics_body}"
+        );
     }
 }

@@ -36,12 +36,106 @@ use crate::telemetry::{CellFailure, CellKey, CellRecord, TelemetryLog};
 use crate::trace::CellTraceWriter;
 
 /// Seed-stream salt separating start generation from chain randomness.
-const RUN_SALT: u64 = 0x52554E;
+pub(crate) const RUN_SALT: u64 = 0x52554E;
 
 /// Seed-stream salt for the adaptive-schedule probe, so probing an instance
 /// never perturbs its chain RNG stream: with `--schedule` the chain still
 /// consumes exactly the stream a grid-swept run would.
-const PROBE_SALT: u64 = 0x50524F4245;
+pub(crate) const PROBE_SALT: u64 = 0x50524F4245;
+
+/// Applies an adaptive-schedule override to one run: probes the problem's
+/// delta statistics on the dedicated `probe_seed` RNG stream (independent
+/// of the chain's), replaces `g`'s grid-swept schedule with a derived one
+/// of the same length, and charges the probe against an evaluation budget.
+/// Returns the (possibly reduced) budget and the feedback controller to
+/// attach. With `mode == None` this is a no-op.
+///
+/// Shared by the suite runner and the job server
+/// ([`crate::jobs`]) so both derive schedules — and charge probe costs —
+/// identically for the same seed.
+pub(crate) fn adapt_schedule_for<P: anneal_core::Problem>(
+    mode: Option<AdaptiveMode>,
+    probe_seed: u64,
+    problem: &P,
+    g: &mut GFunction,
+    budget: Budget,
+) -> (Budget, Option<AcceptanceController>) {
+    let Some(mode) = mode else {
+        return (budget, None);
+    };
+    let _probe_span = metrics::span("probe");
+    let mut probe_rng = StdRng::seed_from_u64(probe_seed);
+    let stats = estimate_delta_stats(problem, adaptive::DEFAULT_PROBE_SAMPLES, &mut probe_rng);
+    let derived = adaptive::derive(
+        &stats,
+        mode,
+        g.schedule().len(),
+        adaptive::DEFAULT_PROBE_SAMPLES,
+    );
+    *g = g.clone().with_schedule(derived.schedule);
+    let budget = match budget {
+        // Floor of one evaluation: a budget smaller than the probe
+        // still runs a (vanishingly short) chain instead of panicking.
+        Budget::Evaluations(n) => Budget::Evaluations(n.saturating_sub(derived.probe_evals).max(1)),
+        wall @ Budget::WallClock(_) => wall,
+    };
+    (budget, derived.controller)
+}
+
+/// Runs one chain of `strategy` on `problem` from `start` — the single
+/// dispatch point deciding how a (strategy, g, ladder) triple executes.
+///
+/// Both the table runner ([`ArrangementSet`]) and the job server
+/// ([`crate::jobs`]) call through here, so a job submitted over HTTP runs
+/// byte-for-byte the chain the offline CLI would run for the same spec.
+/// `replicas` rebuilds the ladder to that many geometric rungs for
+/// [`Strategy::ReplicaExchange`] (the `--replicas` behavior); `controller`
+/// attaches acceptance feedback to the Figure-1/Figure-2 strategies only —
+/// the others run their schedule open-loop.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_strategy<P, O>(
+    problem: &P,
+    g: &mut GFunction,
+    start: P::State,
+    strategy: Strategy,
+    budget: Budget,
+    equilibrium: u64,
+    replicas: Option<usize>,
+    controller: Option<AcceptanceController>,
+    rng: &mut StdRng,
+    obs: &mut O,
+) -> RunResult<P::State>
+where
+    P: anneal_core::Problem,
+    O: ChainObserver,
+{
+    match strategy {
+        Strategy::Figure1 => Figure1::with_equilibrium(equilibrium)
+            .with_controller(controller)
+            .run_traced(problem, g, start, budget, rng, obs),
+        Strategy::Figure2 => Figure2::with_equilibrium(equilibrium)
+            .with_controller(controller)
+            .run_traced(problem, g, start, budget, rng, obs),
+        Strategy::Rejectionless => {
+            Rejectionless::default().run_traced(problem, g, start, budget, rng, obs)
+        }
+        Strategy::ReplicaExchange { exchange_interval } => {
+            if let Some(k) = replicas {
+                // `--replicas K`: one chain per rung of a K-rung
+                // geometric ladder grown from the method's own top
+                // temperature (the core strategy stays ladder-agnostic).
+                let top = g.schedule().value(0);
+                *g = g.clone().with_schedule(anneal_core::Schedule::geometric(
+                    top,
+                    anneal_core::KIRKPATRICK_RATIO,
+                    k,
+                ));
+            }
+            ReplicaExchange::with_interval(exchange_interval)
+                .run_traced(problem, g, start, budget, rng, obs)
+        }
+    }
+}
 
 /// Bounded retry for failed cells: up to `attempts` runs per instance, with
 /// exponential backoff between attempts.
@@ -576,28 +670,13 @@ impl ArrangementSet {
         g: &mut GFunction,
         budget: Budget,
     ) -> (Budget, Option<AcceptanceController>) {
-        let Some(mode) = self.schedule else {
-            return (budget, None);
-        };
-        let _probe_span = metrics::span("probe");
-        let mut probe_rng = StdRng::seed_from_u64(derive_seed(self.seed ^ PROBE_SALT, idx as u64));
-        let stats = estimate_delta_stats(problem, adaptive::DEFAULT_PROBE_SAMPLES, &mut probe_rng);
-        let derived = adaptive::derive(
-            &stats,
-            mode,
-            g.schedule().len(),
-            adaptive::DEFAULT_PROBE_SAMPLES,
-        );
-        *g = g.clone().with_schedule(derived.schedule);
-        let budget = match budget {
-            // Floor of one evaluation: a budget smaller than the probe
-            // still runs a (vanishingly short) chain instead of panicking.
-            Budget::Evaluations(n) => {
-                Budget::Evaluations(n.saturating_sub(derived.probe_evals).max(1))
-            }
-            wall @ Budget::WallClock(_) => wall,
-        };
-        (budget, derived.controller)
+        adapt_schedule_for(
+            self.schedule,
+            derive_seed(self.seed ^ PROBE_SALT, idx as u64),
+            problem,
+            g,
+            budget,
+        )
     }
 
     fn run_instance<O: ChainObserver>(
@@ -616,43 +695,18 @@ impl ArrangementSet {
         let mut g = spec.g(&ctx);
         let (budget, controller) = self.adapt_schedule(idx, problem, &mut g, budget);
         let mut rng = StdRng::seed_from_u64(derive_seed(self.seed ^ RUN_SALT, idx as u64));
-        match strategy {
-            Strategy::Figure1 => Figure1::with_equilibrium(self.equilibrium)
-                .with_controller(controller)
-                .run_traced(problem, &mut g, start.clone(), budget, &mut rng, obs),
-            Strategy::Figure2 => Figure2::with_equilibrium(self.equilibrium)
-                .with_controller(controller)
-                .run_traced(problem, &mut g, start.clone(), budget, &mut rng, obs),
-            Strategy::Rejectionless => Rejectionless::default().run_traced(
-                problem,
-                &mut g,
-                start.clone(),
-                budget,
-                &mut rng,
-                obs,
-            ),
-            Strategy::ReplicaExchange { exchange_interval } => {
-                if let Some(k) = self.replicas {
-                    // `--replicas K`: one chain per rung of a K-rung
-                    // geometric ladder grown from the method's own top
-                    // temperature (the core strategy stays ladder-agnostic).
-                    let top = g.schedule().value(0);
-                    g = g.with_schedule(anneal_core::Schedule::geometric(
-                        top,
-                        anneal_core::KIRKPATRICK_RATIO,
-                        k,
-                    ));
-                }
-                ReplicaExchange::with_interval(exchange_interval).run_traced(
-                    problem,
-                    &mut g,
-                    start.clone(),
-                    budget,
-                    &mut rng,
-                    obs,
-                )
-            }
-        }
+        run_strategy(
+            problem,
+            &mut g,
+            start.clone(),
+            strategy,
+            budget,
+            self.equilibrium,
+            self.replicas,
+            controller,
+            &mut rng,
+            obs,
+        )
     }
 }
 

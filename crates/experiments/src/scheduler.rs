@@ -1,15 +1,26 @@
-//! Deterministic work-stealing fan-out for per-instance work.
+//! Deterministic work-stealing fan-out for per-instance work, plus the
+//! bounded task queue behind the job server.
 //!
-//! One shared atomic cursor hands out task indices to worker threads as
-//! they free up, so a single slow task (a straggler) never holds idle
-//! workers hostage the way static chunking does: the cell finishes in
-//! roughly `max(task)` wall time, not `sum(chunk)`. Results are written
-//! into fixed per-index slots and returned in index order, which keeps
-//! every downstream reduction (floating-point sums, WAL records) bitwise
-//! identical to a sequential run regardless of thread interleaving.
+//! [`run_indexed`]: one shared atomic cursor hands out task indices to
+//! worker threads as they free up, so a single slow task (a straggler)
+//! never holds idle workers hostage the way static chunking does: the cell
+//! finishes in roughly `max(task)` wall time, not `sum(chunk)`. Results
+//! are written into fixed per-index slots and returned in index order,
+//! which keeps every downstream reduction (floating-point sums, WAL
+//! records) bitwise identical to a sequential run regardless of thread
+//! interleaving.
+//!
+//! [`TaskQueue`] is the long-lived counterpart for open-ended work: a
+//! bounded multi-producer/multi-consumer queue whose `push` never blocks
+//! (a full queue is the caller's backpressure signal — the job server
+//! turns it into HTTP 429) and whose `pop` parks consumers until work or
+//! shutdown arrives. Inside each job the instances still fan out through
+//! [`run_indexed`], so the two layers compose: the queue spreads *jobs*
+//! across workers, the cursor spreads *instances* inside one job.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 /// Runs `f(0..n)` over `threads` workers, returning results in index
 /// order. `threads == 1` (or `n <= 1`) degenerates to a plain sequential
@@ -52,6 +63,127 @@ where
         .into_iter()
         .map(|o| o.expect("every slot filled"))
         .collect()
+}
+
+/// Why a [`TaskQueue::push`] was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue holds `capacity` items: the producer must shed load
+    /// (the job server answers 429).
+    Full,
+    /// [`TaskQueue::close`] was called: no new work is accepted.
+    Closed,
+}
+
+impl std::fmt::Display for PushError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PushError::Full => write!(f, "queue full"),
+            PushError::Closed => write!(f, "queue closed"),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer/multi-consumer task queue.
+///
+/// `push` is non-blocking by design: a full queue is a *backpressure
+/// signal* the producer must surface (the job server maps it to HTTP 429)
+/// rather than silently absorb. `pop` blocks until an item arrives or the
+/// queue is closed and drained, so consumer threads can simply loop
+/// `while let Some(item) = queue.pop()`.
+#[derive(Debug)]
+pub struct TaskQueue<T> {
+    capacity: usize,
+    state: Mutex<QueueState<T>>,
+    takers: Condvar,
+}
+
+impl<T> TaskQueue<T> {
+    /// A queue refusing pushes beyond `capacity` queued items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` — a queue that can hold nothing would
+    /// reject every job.
+    pub fn bounded(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        TaskQueue {
+            capacity,
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            takers: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, QueueState<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Enqueues `item`, or refuses with the reason ([`PushError::Full`] /
+    /// [`PushError::Closed`]). Never blocks.
+    pub fn push(&self, item: T) -> Result<(), PushError> {
+        let mut state = self.lock();
+        if state.closed {
+            return Err(PushError::Closed);
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.takers.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the oldest item, blocking while the queue is open but
+    /// empty. Returns `None` once the queue is closed *and* drained —
+    /// the consumer's signal to exit its loop.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.lock();
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .takers
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Closes the queue: pending items still drain, new pushes are
+    /// refused, and blocked consumers wake to observe the shutdown.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.takers.notify_all();
+    }
+
+    /// Items currently queued (racy by nature; for backpressure messages
+    /// and metrics, not for flow control).
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.lock().items.is_empty()
+    }
+
+    /// The `capacity` the queue was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
 }
 
 #[cfg(test)]
@@ -123,5 +255,73 @@ mod tests {
             i * 2
         });
         assert_eq!(out, (0..8).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn queue_is_fifo_and_reports_backpressure() {
+        let q = TaskQueue::bounded(2);
+        assert!(q.is_empty());
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.push(3), Err(PushError::Full));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.capacity(), 2);
+        assert_eq!(q.pop(), Some(1));
+        // Popping freed a slot: the producer may retry.
+        q.push(3).unwrap();
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn close_drains_pending_items_then_stops_consumers() {
+        let q = TaskQueue::bounded(4);
+        q.push("a").unwrap();
+        q.push("b").unwrap();
+        q.close();
+        assert_eq!(q.push("c"), Err(PushError::Closed));
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None, "a drained closed queue stays drained");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_queue_panics() {
+        let _ = TaskQueue::<u64>::bounded(0);
+    }
+
+    #[test]
+    fn blocked_consumers_wake_on_push_and_on_close() {
+        use std::sync::Arc;
+        let q = Arc::new(TaskQueue::bounded(8));
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(item) = q.pop() {
+                        got.push(item);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for i in 0..10 {
+            // Interleave pushes with tiny sleeps so consumers genuinely
+            // park and wake rather than racing one hot loop.
+            q.push(i).unwrap();
+            if i % 3 == 0 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        q.close();
+        let mut all: Vec<i32> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().expect("consumer exits cleanly"))
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
     }
 }

@@ -421,16 +421,16 @@ impl fmt::Display for SupervisorEvent {
     }
 }
 
-fn push_str_field(s: &mut String, key: &str, value: &str) {
+pub(crate) fn push_str_field(s: &mut String, key: &str, value: &str) {
     s.push_str(&format!("\"{}\":\"{}\",", key, escape_json(value)));
 }
 
-fn push_raw_field(s: &mut String, key: &str, value: &str) {
+pub(crate) fn push_raw_field(s: &mut String, key: &str, value: &str) {
     s.push_str(&format!("\"{key}\":{value},"));
 }
 
 /// JSON has no NaN/Infinity; map them to null.
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {
@@ -438,7 +438,7 @@ fn json_f64(v: f64) -> String {
     }
 }
 
-fn escape_json(s: &str) -> String {
+pub(crate) fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

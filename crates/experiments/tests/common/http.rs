@@ -1,0 +1,150 @@
+//! Shared HTTP plumbing for the ops-plane and job-server e2e tests:
+//! spawning the real `repro` binary, discovering the address it bound,
+//! and issuing raw-`TcpStream` requests with deadline-based retries
+//! instead of one hard-coded timeout (a loaded CI box can make a single
+//! 5-second scrape flake; retrying the whole request until a generous
+//! deadline cannot).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// How long a single request may retry before the test gives up.
+pub const REQUEST_DEADLINE: Duration = Duration::from_secs(30);
+
+/// How long [`poll_until`] keeps re-requesting before failing the test.
+pub const POLL_DEADLINE: Duration = Duration::from_secs(120);
+
+/// The `repro` binary under test.
+pub fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+/// Spawns `repro <args>` with stderr piped and returns the child plus the
+/// address its ops server actually bound (parsed from the
+/// `ops: serving on ADDR` stderr line; `127.0.0.1:0` picks a free port).
+/// The rest of stderr keeps draining on a background thread so the child
+/// can never block on a full pipe.
+pub fn spawn_serving_args(args: &[&str]) -> (Child, String) {
+    let mut child = repro()
+        .args(args)
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn repro");
+    let stderr = child.stderr.take().expect("piped stderr");
+    let mut reader = BufReader::new(stderr);
+    let mut addr = None;
+    let mut line = String::new();
+    while reader.read_line(&mut line).expect("read repro stderr") > 0 {
+        if let Some(rest) = line.trim().strip_prefix("ops: serving on ") {
+            addr = Some(rest.to_string());
+            break;
+        }
+        line.clear();
+    }
+    let addr = addr.expect("repro never announced the ops address");
+    std::thread::spawn(move || {
+        let mut sink = Vec::new();
+        let _ = reader.read_to_end(&mut sink);
+    });
+    (child, addr)
+}
+
+/// One raw HTTP/1.1 request, retried until [`REQUEST_DEADLINE`]: connect
+/// refusals, resets and timeouts all just try again, so a busy machine
+/// slows the test down instead of flaking it. Returns
+/// `(status, full response text)`.
+pub fn http_request(addr: &str, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
+    let deadline = Instant::now() + REQUEST_DEADLINE;
+    let mut last_err = String::new();
+    while Instant::now() < deadline {
+        match try_request(addr, method, path, body) {
+            Ok(response) => return response,
+            Err(e) => {
+                last_err = e;
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+    panic!("{method} {path} on {addr} kept failing past the deadline: {last_err}");
+}
+
+fn try_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<(u16, String), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .map_err(|e| format!("set timeout: {e}"))?;
+    let request = match body {
+        Some(body) => format!(
+            "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\
+             Content-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+        None => format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"),
+    };
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("send: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("read: {e}"))?;
+    let status = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line: {response}"))?;
+    Ok((status, response))
+}
+
+/// Minimal HTTP GET: returns (status code, full response text).
+pub fn http_get(addr: &str, path: &str) -> (u16, String) {
+    http_request(addr, "GET", path, None)
+}
+
+/// HTTP POST with a JSON body: returns (status code, full response text).
+pub fn http_post(addr: &str, path: &str, body: &str) -> (u16, String) {
+    http_request(addr, "POST", path, Some(body))
+}
+
+/// HTTP DELETE: returns (status code, full response text).
+pub fn http_delete(addr: &str, path: &str) -> (u16, String) {
+    http_request(addr, "DELETE", path, None)
+}
+
+/// The body of a full response returned by the helpers above.
+pub fn body_of(response: &str) -> &str {
+    response
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body)
+        .unwrap_or(response)
+}
+
+/// Polls `path` until `accept` passes or [`POLL_DEADLINE`] expires.
+pub fn poll_until(addr: &str, path: &str, accept: impl Fn(u16, &str) -> bool) -> (u16, String) {
+    let deadline = Instant::now() + POLL_DEADLINE;
+    loop {
+        let (status, body) = http_get(addr, path);
+        if accept(status, &body) {
+            return (status, body);
+        }
+        assert!(
+            Instant::now() < deadline,
+            "gave up polling {path}; last response:\n{body}"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+/// Kills and reaps a spawned `repro`.
+pub fn finish(mut child: Child) {
+    let _ = child.kill();
+    let _ = child.wait();
+}

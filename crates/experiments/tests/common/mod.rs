@@ -1,0 +1,5 @@
+//! Helpers shared by the integration-test crates (each test file compiles
+//! this module separately, so anything unused in one crate is fine).
+#![allow(dead_code)]
+
+pub mod http;

@@ -1,95 +1,28 @@
 //! End-to-end tests for the live ops plane, driving the real `repro`
 //! binary with `--serve 127.0.0.1:0` and scraping the HTTP endpoints
-//! mid-run over a plain `TcpStream`: `/metrics` serves Prometheus text
-//! exposition, `/healthz` answers 200 on a healthy run and flips to 503
-//! once a fault degrades the suite, and `/progress` reports cell counts
-//! and — under process isolation — per-worker heartbeat ages.
+//! mid-run via the shared `common::http` helpers: `/metrics` serves
+//! Prometheus text exposition, `/healthz` answers 200 on a healthy run
+//! and flips to 503 once a fault degrades the suite, and `/progress`
+//! reports cell counts and — under process isolation — per-worker
+//! heartbeat ages.
 
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
-use std::process::{Child, Command, Stdio};
-use std::time::{Duration, Instant};
+mod common;
 
-fn repro() -> Command {
-    Command::new(env!("CARGO_BIN_EXE_repro"))
-}
+use std::process::Child;
+
+use common::http::{finish, http_get, poll_until, spawn_serving_args};
 
 /// The canonical tiny workload (42 roster cells); delay faults stretch it
 /// out so the suite is reliably still running while we scrape.
 const WORKLOAD: [&str; 5] = ["--scale", "2000", "--seed", "7", "table4.2b"];
 
-/// Spawns `repro --serve 127.0.0.1:0 <extra>` and returns the child plus
-/// the address the ops server actually bound (parsed from its stderr).
+/// Spawns `repro <workload> --serve 127.0.0.1:0 <extra>` and returns the
+/// child plus the address the ops server actually bound.
 fn spawn_serving(extra: &[&str]) -> (Child, String) {
-    let mut child = repro()
-        .args(WORKLOAD)
-        .args(["--serve", "127.0.0.1:0"])
-        .args(extra)
-        .stdout(Stdio::null())
-        .stderr(Stdio::piped())
-        .spawn()
-        .expect("spawn repro");
-    let stderr = child.stderr.take().expect("piped stderr");
-    let mut reader = BufReader::new(stderr);
-    let mut addr = None;
-    let mut line = String::new();
-    while reader.read_line(&mut line).expect("read repro stderr") > 0 {
-        if let Some(rest) = line.trim().strip_prefix("ops: serving on ") {
-            addr = Some(rest.to_string());
-            break;
-        }
-        line.clear();
-    }
-    let addr = addr.expect("repro never announced the ops address");
-    // Keep draining stderr so the child can never block on a full pipe.
-    std::thread::spawn(move || {
-        let mut sink = Vec::new();
-        let _ = reader.read_to_end(&mut sink);
-    });
-    (child, addr)
-}
-
-/// Minimal HTTP GET: returns (status code, full response text).
-fn http_get(addr: &str, path: &str) -> (u16, String) {
-    let stream = TcpStream::connect(addr).expect("connect ops server");
-    stream
-        .set_read_timeout(Some(Duration::from_secs(5)))
-        .unwrap();
-    let mut stream = stream;
-    write!(
-        stream,
-        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
-    )
-    .expect("send request");
-    let mut response = String::new();
-    stream.read_to_string(&mut response).expect("read response");
-    let status = response
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or_else(|| panic!("malformed status line: {response}"));
-    (status, response)
-}
-
-/// Polls `path` until `accept` passes or the deadline expires.
-fn poll_until(addr: &str, path: &str, accept: impl Fn(u16, &str) -> bool) -> (u16, String) {
-    let deadline = Instant::now() + Duration::from_secs(60);
-    loop {
-        let (status, body) = http_get(addr, path);
-        if accept(status, &body) {
-            return (status, body);
-        }
-        assert!(
-            Instant::now() < deadline,
-            "gave up polling {path}; last response:\n{body}"
-        );
-        std::thread::sleep(Duration::from_millis(100));
-    }
-}
-
-fn finish(mut child: Child) {
-    let _ = child.kill();
-    let _ = child.wait();
+    let mut args: Vec<&str> = WORKLOAD.to_vec();
+    args.extend_from_slice(&["--serve", "127.0.0.1:0"]);
+    args.extend_from_slice(extra);
+    spawn_serving_args(&args)
 }
 
 #[test]
@@ -138,6 +71,12 @@ fn serve_exposes_metrics_health_and_progress_mid_run() {
     assert_eq!(status, 404);
     let (status, _) = http_get(&addr, "/metrics");
     assert_eq!(status, 200);
+
+    // The job API is not enabled under plain `--serve` (that is `repro
+    // serve`'s business), and says so.
+    let (status, body) = http_get(&addr, "/jobs");
+    assert_eq!(status, 404, "{body}");
+    assert!(body.contains("job API not enabled"), "{body}");
 
     finish(child);
 }

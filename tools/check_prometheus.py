@@ -13,6 +13,13 @@ text format 0.0.4 rules the in-process renderer promises:
     counts are cumulative and monotone in `le`, and the mandatory
     `le="+Inf"` bucket equals `_count`.
 
+With `--jobs`, additionally validates the job-server families the
+`repro serve` daemon promises: `jobs_state` is a gauge carrying exactly
+the five job states (queued/running/done/failed/cancelled) with
+non-negative integer values, `job_wall_us` (when present) is a histogram
+whose every series is labeled by `problem`, and the `jobs_*` counters
+(when present) are typed as counters.
+
 Offline by design (CI must not depend on the network): this validates a
 scraped payload, it does not scrape. Exit status is 0 when the exposition
 is well-formed, 1 otherwise, with one `line N: message` diagnostic per
@@ -155,15 +162,71 @@ def check(text: str) -> list:
     return errors
 
 
+# The job-state machine's five states, mirrored from `jobs::JOB_STATES`.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+JOB_COUNTERS = (
+    "jobs_submitted",
+    "jobs_rejected_backpressure",
+    "jobs_rejected_invalid",
+    "jobs_journal_errors",
+)
+JOBS_STATE_SAMPLE_RE = re.compile(
+    r'(?m)^jobs_state\{state="([^"]*)"\}\s+(\S+)$'
+)
+
+
+def check_jobs(text: str) -> list:
+    """Job-server family checks on an already well-formed exposition."""
+    errors = []
+    types = {}
+    for m in re.finditer(r"(?m)^# TYPE (\S+) (\S+)$", text):
+        types[m.group(1)] = m.group(2)
+
+    if types.get("jobs_state") != "gauge":
+        errors.append("`jobs_state` family missing or not a gauge")
+    seen = {}
+    for m in JOBS_STATE_SAMPLE_RE.finditer(text):
+        state, value = m.group(1), float(m.group(2))
+        if state not in JOB_STATES:
+            errors.append(f"`jobs_state` has unknown state `{state}`")
+        if state in seen:
+            errors.append(f"`jobs_state` repeats state `{state}`")
+        if value < 0 or value != int(value):
+            errors.append(
+                f"`jobs_state{{state=\"{state}\"}}` is not a non-negative "
+                f"integer: {value:g}"
+            )
+        seen[state] = value
+    for state in JOB_STATES:
+        if types.get("jobs_state") == "gauge" and state not in seen:
+            errors.append(f"`jobs_state` is missing state `{state}`")
+
+    if "job_wall_us" in types:
+        if types["job_wall_us"] != "histogram":
+            errors.append("`job_wall_us` is not a histogram")
+        for m in re.finditer(r"(?m)^job_wall_us\w*(\{[^}]*\})?\s", text):
+            if 'problem="' not in (m.group(1) or ""):
+                errors.append("`job_wall_us` series without a `problem` label")
+                break
+    for counter in JOB_COUNTERS:
+        if counter in types and types[counter] != "counter":
+            errors.append(f"`{counter}` is not a counter")
+    return errors
+
+
 def main(argv: list) -> int:
+    want_jobs = "--jobs" in argv
+    argv = [a for a in argv if a != "--jobs"]
     if len(argv) != 1:
-        print("usage: check_prometheus.py FILE|-", file=sys.stderr)
+        print("usage: check_prometheus.py [--jobs] FILE|-", file=sys.stderr)
         return 2
     text = sys.stdin.read() if argv[0] == "-" else Path(argv[0]).read_text()
     if not text.strip():
         print("error: empty exposition", file=sys.stderr)
         return 1
     errors = check(text)
+    if want_jobs:
+        errors += check_jobs(text)
     for err in errors:
         print(err, file=sys.stderr)
     if errors:
